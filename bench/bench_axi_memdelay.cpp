@@ -1,0 +1,149 @@
+// AXI — memory-delay sensitivity of AXI-attached accelerators (paper
+// Sec. II: "Memory delay estimates can also be configured to assess the
+// performance of the application considering also data transfers", and the
+// remark that prefetching/caching "might drastically reduce the average
+// access time").
+//
+// Sweeps the external memory latency for both generated-wrapper styles
+// (burst DMA vs per-access single-beat masters) over a data-heavy kernel.
+#include <benchmark/benchmark.h>
+
+#include "axi/hls_axi.hpp"
+#include "hls/flow.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::axi;
+
+const hls::FlowResult& vector_scale_flow() {
+  static const hls::FlowResult flow = [] {
+    const char* source = R"(
+      void vscale(int32_t data[256], int k) {
+        for (int i = 0; i < 256; i = i + 1) {
+          data[i] = data[i] * k + (data[i] >> 2);
+        }
+      }
+    )";
+    hls::FlowOptions options;
+    options.top = "vscale";
+    auto result = hls::run_flow(source, options);
+    return result.take();
+  }();
+  return flow;
+}
+
+void run_case(benchmark::State& state, AxiMode mode,
+              const CacheConfig& cache_config = {}) {
+  const unsigned latency = static_cast<unsigned>(state.range(0));
+  const hls::FlowResult& flow = vector_scale_flow();
+  const AxiMap map = default_axi_map(flow.function);
+
+  AxiRunResult result;
+  for (auto _ : state) {
+    MemoryTiming timing;
+    timing.read_latency = latency;
+    timing.write_latency = latency;
+    AxiSlaveMemory ddr(1 << 16, timing);
+    for (std::size_t i = 0; i < 256; ++i) {
+      ddr.poke_word(map.base_addr.at(0) + i * 4, i, 4);
+    }
+    auto run = run_with_axi(flow, {3}, ddr, map, mode, cache_config);
+    if (run.ok()) result = run.take();
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(std::string(to_string(mode)) + " lat=" +
+                 std::to_string(latency));
+  state.counters["match"] = result.match ? 1 : 0;
+  state.counters["compute_cycles"] = static_cast<double>(result.compute_cycles);
+  state.counters["transfer_cycles"] = static_cast<double>(result.transfer_cycles);
+  state.counters["total_cycles"] = static_cast<double>(result.total_cycles);
+  state.counters["bus_beats"] = static_cast<double>(result.bus.beats);
+  if (mode == AxiMode::kPerAccessCached) {
+    state.counters["hit_rate"] = result.cache.hit_rate();
+    state.counters["prefetch_hits"] =
+        static_cast<double>(result.cache.prefetch_hits);
+  }
+}
+
+void BM_DmaBurst(benchmark::State& state) {
+  run_case(state, AxiMode::kDmaBurst);
+}
+void BM_PerAccess(benchmark::State& state) {
+  run_case(state, AxiMode::kPerAccess);
+}
+void BM_PerAccessCached(benchmark::State& state) {
+  CacheConfig config;
+  config.size_bytes = 1024;
+  config.prefetch_lines = 1;
+  run_case(state, AxiMode::kPerAccessCached, config);
+}
+BENCHMARK(BM_DmaBurst)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PerAccess)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PerAccessCached)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cache-customization sweep (the paper: "support the customization of
+/// cache sizes, associativity, and other features"): hit rate / cycles vs
+/// size x associativity x prefetch at a fixed 16-cycle memory.
+void BM_CacheCustomization(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const unsigned ways = static_cast<unsigned>(state.range(1));
+  const unsigned prefetch = static_cast<unsigned>(state.range(2));
+  const hls::FlowResult& flow = vector_scale_flow();
+  const AxiMap map = default_axi_map(flow.function);
+
+  CacheConfig config;
+  config.size_bytes = size;
+  config.associativity = ways;
+  config.prefetch_lines = prefetch;
+
+  AxiRunResult result;
+  for (auto _ : state) {
+    MemoryTiming timing;
+    timing.read_latency = 16;
+    timing.write_latency = 16;
+    AxiSlaveMemory ddr(1 << 16, timing);
+    for (std::size_t i = 0; i < 256; ++i) {
+      ddr.poke_word(map.base_addr.at(0) + i * 4, i, 4);
+    }
+    auto run = run_with_axi(flow, {3}, ddr, map, AxiMode::kPerAccessCached,
+                            config);
+    if (run.ok()) result = run.take();
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(std::to_string(size) + "B/" + std::to_string(ways) + "way/pf" +
+                 std::to_string(prefetch));
+  state.counters["hit_rate"] = result.cache.hit_rate();
+  state.counters["transfer_cycles"] = static_cast<double>(result.transfer_cycles);
+  state.counters["match"] = result.match ? 1 : 0;
+}
+BENCHMARK(BM_CacheCustomization)
+    ->ArgsProduct({{128, 512, 2048}, {1, 2, 4}, {0, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Unaligned transfers through the master: correctness is covered by tests;
+/// here the cost of misalignment (extra edge beats) is measured.
+void BM_UnalignedTransfer(benchmark::State& state) {
+  const std::uint64_t offset = static_cast<std::uint64_t>(state.range(0));
+  MasterStats stats;
+  for (auto _ : state) {
+    AxiSlaveMemory ddr(1 << 16, {});
+    AxiMaster master(ddr);
+    std::vector<std::uint8_t> buffer(1021);  // odd size
+    master.read(4096 + offset, buffer);
+    stats = master.stats();
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel("offset " + std::to_string(offset));
+  state.counters["bus_cycles"] = static_cast<double>(stats.cycles);
+  state.counters["beats"] = static_cast<double>(stats.beats);
+  state.counters["bursts"] = static_cast<double>(stats.bursts);
+}
+BENCHMARK(BM_UnalignedTransfer)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// DATAFLOW — dynamically controlled accelerators vs monolithic FSM
+// synthesis (paper Sec. II / ref [14]: "the complexity of the finite state
+// machine controllers for such applications grows exponentially").
+//
+// N parallel execution flows (an ML-style fork/join): compares the
+// centralized controller's product-state blow-up against the linear
+// controller cost and pipelined throughput of the dataflow style.
+#include <benchmark/benchmark.h>
+
+#include "dataflow/taskgraph.hpp"
+#include "hls/flow.hpp"
+#include "hls/testbench.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::df;
+
+TaskGraph parallel_flows(unsigned flows, unsigned states_per_flow) {
+  TaskGraph graph;
+  Task src{"scatter", 2, 0, 2, 20};
+  const std::size_t s = graph.add_task(src);
+  Task join{"gather", 2, 0, 2, 20};
+  const std::size_t j = graph.add_task(join);
+  for (unsigned i = 0; i < flows; ++i) {
+    Task worker{"flow" + std::to_string(i), states_per_flow, 0,
+                states_per_flow, 150};
+    const std::size_t w = graph.add_task(worker);
+    graph.connect(s, w);
+    graph.connect(w, j);
+  }
+  graph.sources = {s};
+  graph.sinks = {j};
+  return graph;
+}
+
+void BM_ControllerComplexity(benchmark::State& state) {
+  const unsigned flows = static_cast<unsigned>(state.range(0));
+  const TaskGraph graph = parallel_flows(flows, 16);
+  DataflowStats dynamic;
+  MonolithicStats mono;
+  for (auto _ : state) {
+    auto sim = simulate_dataflow(graph, 8);
+    if (sim.ok()) dynamic = sim.take();
+    mono = estimate_monolithic(graph);
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(std::to_string(flows) + " parallel flows");
+  state.counters["dataflow_states"] =
+      static_cast<double>(dynamic.controller_states);
+  state.counters["monolithic_serial_states"] =
+      static_cast<double>(mono.serialized_states);
+  state.counters["monolithic_product_states"] = mono.product_states;
+  state.counters["dataflow_makespan"] = static_cast<double>(dynamic.makespan);
+  state.counters["monolithic_serial_latency"] =
+      static_cast<double>(mono.serialized_latency * 8);  // 8 tokens
+}
+BENCHMARK(BM_ControllerComplexity)->DenseRange(1, 8);
+
+/// Throughput: pipelined dataflow vs serialized monolithic execution as the
+/// token stream grows (the ML inference batch).
+void BM_Throughput(benchmark::State& state) {
+  const std::uint64_t tokens = static_cast<std::uint64_t>(state.range(0));
+  const TaskGraph graph = parallel_flows(4, 24);
+  DataflowStats dynamic;
+  MonolithicStats mono = estimate_monolithic(graph);
+  for (auto _ : state) {
+    auto sim = simulate_dataflow(graph, tokens);
+    if (sim.ok()) dynamic = sim.take();
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(std::to_string(tokens) + " tokens");
+  state.counters["dataflow_cycles"] = static_cast<double>(dynamic.makespan);
+  state.counters["monolithic_cycles"] =
+      static_cast<double>(mono.serialized_latency * tokens);
+  state.counters["speedup"] =
+      static_cast<double>(mono.serialized_latency * tokens) /
+      static_cast<double>(dynamic.makespan ? dynamic.makespan : 1);
+  state.counters["utilization"] = dynamic.avg_utilization;
+}
+BENCHMARK(BM_Throughput)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+/// End-to-end: real HLS tasks (synthesized kernels) composed as a two-stage
+/// ML pipeline (dense layer -> activation histogram), profiled with
+/// latencies measured by co-simulation.
+void BM_HlsTaskPipeline(benchmark::State& state) {
+  hls::FlowOptions options;
+  options.top = "dense_relu";
+  auto dense = hls::run_flow(R"(
+void dense_relu(const int8_t w[64], const int32_t b[8], int8_t x[8], int8_t y[8]) {
+  for (int o = 0; o < 8; o = o + 1) {
+    int32_t acc = b[o];
+    for (int i = 0; i < 8; i = i + 1) {
+      acc = acc + (int32_t)w[o * 8 + i] * (int32_t)x[i];
+    }
+    acc = acc >> 7;
+    if (acc < 0) acc = 0;
+    if (acc > 127) acc = 127;
+    y[o] = (int8_t)acc;
+  }
+}
+)", options);
+  if (!dense.ok()) {
+    state.SkipWithError(dense.status().to_string().c_str());
+    return;
+  }
+  // Measure its latency on the netlist simulator.
+  std::map<std::size_t, std::vector<std::uint64_t>> images;
+  for (std::size_t m = 0; m < dense.value().function.memories().size(); ++m) {
+    images[m] = std::vector<std::uint64_t>(
+        dense.value().function.memories()[m].depth, 1);
+  }
+  auto cosim = hls::cosimulate(dense.value(), {}, images);
+  if (!cosim.ok() || !cosim.value().match) {
+    state.SkipWithError("cosim failed");
+    return;
+  }
+
+  TaskGraph graph;
+  const Task layer = task_from_flow(dense.value(), cosim.value().hw_cycles);
+  const std::size_t l1 = graph.add_task(layer);
+  Task layer2 = layer;
+  layer2.name = "dense2";
+  const std::size_t l2 = graph.add_task(layer2);
+  graph.connect(l1, l2);
+  graph.sources = {l1};
+  graph.sinks = {l2};
+
+  DataflowStats stats;
+  for (auto _ : state) {
+    auto sim = simulate_dataflow(graph, 16);
+    if (sim.ok()) stats = sim.take();
+    benchmark::ClobberMemory();
+  }
+  state.counters["task_latency"] = static_cast<double>(layer.latency);
+  state.counters["pipeline_makespan_16"] = static_cast<double>(stats.makespan);
+  state.counters["controller_states"] =
+      static_cast<double>(stats.controller_states);
+}
+BENCHMARK(BM_HlsTaskPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// EUCA — Eucalyptus component pre-characterization (paper Sec. II).
+//
+// Sweeps operator templates over bit width x pipeline stages x clock period
+// (the exact configuration space the paper describes), reports the
+// latency/area annotations, and emits the Bambu-library XML. Includes
+// ablation D2: chaining-aware scheduling vs one-op-per-state.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hls/eucalyptus.hpp"
+#include "hls/flow.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::hls;
+
+void BM_CharacterizeOp(benchmark::State& state) {
+  const TechLibrary lib(ng_ultra());
+  static const ir::Op kOps[] = {ir::Op::kAdd, ir::Op::kMul, ir::Op::kDiv,
+                                ir::Op::kShl, ir::Op::kLt};
+  const ir::Op op = kOps[state.range(0) % 5];
+  const unsigned width = static_cast<unsigned>(state.range(1));
+  state.SetLabel(std::string(ir::to_string(op)) + " w" + std::to_string(width));
+
+  CharacterizationPoint point;
+  for (auto _ : state) {
+    point = characterize_point(lib, op, width, /*stages=*/0, /*period=*/10.0);
+    benchmark::ClobberMemory();
+  }
+  state.counters["delay_ns"] = point.delay_ns;
+  state.counters["latency"] = point.latency;
+  state.counters["luts"] = static_cast<double>(point.cost.luts);
+  state.counters["dsps"] = static_cast<double>(point.cost.dsps);
+  state.counters["fmax_mhz"] = point.fmax_mhz;
+}
+BENCHMARK(BM_CharacterizeOp)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {8, 16, 32, 64}});
+
+/// Pipelining sweep for the multiplier: more stages -> higher Fmax, more FFs.
+void BM_PipelineStages(benchmark::State& state) {
+  const TechLibrary lib(ng_ultra());
+  const unsigned stages = static_cast<unsigned>(state.range(0));
+  CharacterizationPoint point;
+  for (auto _ : state) {
+    point = characterize_point(lib, ir::Op::kMul, 64, stages, 4.0);
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel("mul64 s" + std::to_string(stages));
+  state.counters["stage_delay_ns"] = point.delay_ns;
+  state.counters["fmax_mhz"] = point.fmax_mhz;
+  state.counters["meets_4ns"] = point.meets_timing ? 1 : 0;
+  state.counters["ffs"] = static_cast<double>(point.cost.ffs);
+}
+BENCHMARK(BM_PipelineStages)->DenseRange(0, 4);
+
+/// Full sweep -> XML artifact (what Eucalyptus stores in the Bambu library).
+void BM_FullSweepToXml(benchmark::State& state) {
+  const TechLibrary lib(ng_ultra());
+  const SweepConfig config;
+  std::string xml;
+  std::size_t points = 0;
+  for (auto _ : state) {
+    const auto sweep = run_sweep(lib, config);
+    points = sweep.size();
+    xml = to_xml(lib.target(), sweep);
+    benchmark::ClobberMemory();
+  }
+  state.counters["configurations"] = static_cast<double>(points);
+  state.counters["xml_kb"] = static_cast<double>(xml.size()) / 1024.0;
+}
+BENCHMARK(BM_FullSweepToXml)->Unit(benchmark::kMillisecond);
+
+/// Ablation D2: operation chaining on/off across clock periods — chaining
+/// packs more work per state at relaxed clocks.
+void BM_AblationChaining(benchmark::State& state) {
+  const bool chaining = state.range(0) != 0;
+  const double period = static_cast<double>(state.range(1));
+  state.SetLabel(std::string(chaining ? "chaining" : "no-chaining") + " @" +
+                 std::to_string(state.range(1)) + "ns");
+  const char* source = R"(
+    int chain4(int a, int b, int c, int d) {
+      return (((a ^ b) | c) & d) + ((a & b) ^ (c | d));
+    }
+  )";
+  FlowOptions options;
+  options.top = "chain4";
+  options.constraints.allow_chaining = chaining;
+  options.constraints.clock_period_ns = period;
+  FlowResult result;
+  for (auto _ : state) {
+    auto flow = run_flow(source, options);
+    if (flow.ok()) result = flow.take();
+    benchmark::ClobberMemory();
+  }
+  state.counters["fsm_states"] = static_cast<double>(result.fsm_states);
+  state.counters["datapath_states"] = static_cast<double>(result.schedule.num_states);
+}
+BENCHMARK(BM_AblationChaining)
+    ->ArgsProduct({{0, 1}, {4, 10, 20}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

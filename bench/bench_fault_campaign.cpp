@@ -1,0 +1,147 @@
+// TMR — radiation-hardening effectiveness (paper Sec. I: NG-ULTRA's TMR /
+// ECC / memory integrity "completely transparent to the application
+// developer"; Sec. IV: BL1 flash redundancy).
+//
+// SEU injection campaigns across protection schemes and upset rates
+// (ablation D4), plus the flash-bank TMR recovery measurement.
+#include <benchmark/benchmark.h>
+
+#include "boot/flash.hpp"
+#include "common/rng.hpp"
+#include "fault/scrub_memory.hpp"
+#include "hls/flow.hpp"
+#include "hw/tmr_transform.hpp"
+#include "nxmap/flow.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::fault;
+
+/// Ablation D4: none vs EDAC vs TMR under an upset-rate sweep.
+void BM_ScrubCampaign(benchmark::State& state) {
+  const Protection protection = static_cast<Protection>(state.range(0));
+  const double rate = 1e-5 * static_cast<double>(state.range(1));
+  state.SetLabel(std::string(to_string(protection)) + " rate=" +
+                 std::to_string(state.range(1)) + "e-5");
+
+  ScrubReport total;
+  std::size_t intervals = 0;
+  for (auto _ : state) {
+    ScrubMemory memory(16 * 1024, protection);
+    for (std::size_t i = 0; i < memory.size(); ++i) {
+      memory.write(i, static_cast<std::uint32_t>(i * 2654435761u));
+    }
+    Rng rng(1234);
+    SeuCampaignConfig config;
+    config.upset_probability_per_word = rate;
+    for (int interval = 0; interval < 20; ++interval) {
+      const ScrubReport report = memory.inject_and_scrub(config, rng);
+      total.injected_upsets += report.injected_upsets;
+      total.corrected += report.corrected;
+      total.detected_uncorrectable += report.detected_uncorrectable;
+      total.silent_corruptions += report.silent_corruptions;
+      ++intervals;
+    }
+    benchmark::ClobberMemory();
+  }
+  state.counters["upsets"] = static_cast<double>(total.injected_upsets);
+  state.counters["corrected"] = static_cast<double>(total.corrected);
+  state.counters["detected_unc"] =
+      static_cast<double>(total.detected_uncorrectable);
+  state.counters["silent"] = static_cast<double>(total.silent_corruptions);
+  state.counters["silent_per_Mbit_interval"] =
+      total.silent_corruptions * 1e6 /
+      (static_cast<double>(16 * 1024 * 32) * static_cast<double>(intervals));
+}
+BENCHMARK(BM_ScrubCampaign)
+    ->ArgsProduct({{0, 1, 2},       // Protection
+                   {1, 10, 100}});  // rate multiplier
+
+/// Storage overhead vs protection (the cost column of the D4 table).
+void BM_ProtectionOverhead(benchmark::State& state) {
+  const Protection protection = static_cast<Protection>(state.range(0));
+  ScrubMemory memory(1024, protection);
+  for (auto _ : state) {
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(to_string(protection));
+  state.counters["raw_bits_per_word"] =
+      static_cast<double>(memory.raw_bits()) / 1024.0;
+  state.counters["overhead_pct"] =
+      100.0 * (static_cast<double>(memory.raw_bits()) / (1024.0 * 32.0) - 1.0);
+}
+BENCHMARK(BM_ProtectionOverhead)->Arg(0)->Arg(1)->Arg(2);
+
+/// Flash TMR recovery rate vs accumulated flips in a single replica.
+void BM_FlashTmrRecovery(benchmark::State& state) {
+  const std::size_t flips = static_cast<std::size_t>(state.range(0));
+  std::uint64_t corrected = 0;
+  bool intact = true;
+  for (auto _ : state) {
+    boot::FlashBank bank(256 * 1024, 3);
+    std::vector<std::uint8_t> image(64 * 1024);
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      image[i] = static_cast<std::uint8_t>(i);
+    }
+    bank.program(0, image);
+    Rng rng(7);
+    bank.device(0).inject_bitflips(flips, rng);
+    std::vector<std::uint8_t> readback(image.size());
+    const auto result = bank.read(0, readback);
+    corrected = result.corrected_bytes;
+    intact = readback == image;
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(std::to_string(flips) + " flips in 1 replica");
+  state.counters["corrected_bytes"] = static_cast<double>(corrected);
+  state.counters["image_intact"] = intact ? 1 : 0;
+}
+BENCHMARK(BM_FlashTmrRecovery)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Netlist FF-TMR cost: the same HLS accelerator plain, TMR'd, and
+/// self-healing-TMR'd through the full NXmap backend — the area/Fmax price
+/// of the "transparent" hardening.
+void BM_NetlistTmrCost(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  static const char* kLabels[] = {"plain", "ff_tmr", "self_healing_tmr"};
+  state.SetLabel(kLabels[variant]);
+
+  hls::FlowOptions options;
+  options.top = "dot";
+  auto flow = hls::run_flow(R"(
+    int dot(int a[16], int b[16]) {
+      int acc = 0;
+      for (int i = 0; i < 16; i = i + 1) { acc = acc + a[i] * b[i]; }
+      return acc;
+    }
+  )", options);
+  if (!flow.ok()) {
+    state.SkipWithError("flow failed");
+    return;
+  }
+  hw::TmrOptions tmr;
+  tmr.self_healing = variant == 2;
+  hw::TmrStats tmr_stats;
+  const hw::Module module =
+      variant == 0 ? flow.value().fsmd.module
+                   : hw::tmr_transform(flow.value().fsmd.module, &tmr_stats, tmr);
+
+  const nx::NxDevice device = nx::make_device(hls::ng_ultra());
+  nx::BackendResult result;
+  for (auto _ : state) {
+    auto backend = nx::run_backend(module, device);
+    if (backend.ok()) result = backend.take();
+    benchmark::ClobberMemory();
+  }
+  state.counters["luts"] = static_cast<double>(result.mapped.utilization.luts);
+  state.counters["ffs"] = static_cast<double>(result.mapped.utilization.ffs);
+  state.counters["fmax_mhz"] = result.timing.fmax_mhz;
+  state.counters["voters"] = static_cast<double>(tmr_stats.voter_cells);
+}
+BENCHMARK(BM_NetlistTmrCost)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// FIG1 — NG-ULTRA architecture (paper Fig. 1).
+//
+// Regenerates the device inventory (quad-core R52 + 550k-LUT fabric + DSP +
+// TDP-RAM blocks) and sweeps fabric utilization with synthetic designs of
+// growing size to exercise the capacity model.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hls/flow.hpp"
+#include "nxmap/device.hpp"
+#include "nxmap/techmap.hpp"
+
+namespace {
+
+using namespace hermes;
+
+void BM_DeviceInventory(benchmark::State& state) {
+  const nx::NxDevice device = nx::make_device(hls::ng_ultra());
+  for (auto _ : state) {
+    benchmark::ClobberMemory();
+  }
+  state.counters["luts"] = static_cast<double>(device.total_luts());
+  state.counters["dsps"] = static_cast<double>(device.total_dsps());
+  state.counters["tdp_rams"] = static_cast<double>(device.total_brams());
+  state.counters["cores"] = 4;  // quad ARM R52
+}
+BENCHMARK(BM_DeviceInventory);
+
+/// Utilization sweep: replicated MAC datapaths until a sizable fraction of
+/// the fabric is used.
+void BM_FabricUtilization(benchmark::State& state) {
+  const unsigned copies = static_cast<unsigned>(state.range(0));
+  hw::Module m("grid");
+  const hw::WireId a = m.add_wire(32, "a");
+  const hw::WireId b = m.add_wire(32, "b");
+  m.add_input(a, "a");
+  m.add_input(b, "b");
+  const hw::WireId en = m.make_const(1, 1);
+  for (unsigned i = 0; i < copies; ++i) {
+    const hw::WireId p = m.make_binop(hw::CellKind::kMul, a, b, 32);
+    const hw::WireId s = m.make_binop(hw::CellKind::kAdd, p, a, 32);
+    m.make_register(s, en, 0);
+  }
+  const nx::NxDevice device = nx::make_device(hls::ng_ultra());
+  nx::Utilization util{};
+  for (auto _ : state) {
+    auto mapped = nx::techmap(m, device);
+    if (mapped.ok()) util = mapped.value().utilization;
+    benchmark::ClobberMemory();
+  }
+  state.counters["lut_pct"] = util.lut_pct;
+  state.counters["dsp_pct"] = util.dsp_pct;
+  state.counters["luts"] = static_cast<double>(util.luts);
+}
+BENCHMARK(BM_FabricUtilization)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void print_header() {
+  const nx::NxDevice device = nx::make_device(hls::ng_ultra());
+  std::printf("%s\n", nx::device_inventory(device).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

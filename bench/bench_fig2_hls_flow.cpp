@@ -1,0 +1,95 @@
+// FIG2 — the Bambu HLS flow (paper Fig. 2: front-end / middle-end /
+// back-end).
+//
+// For every use-case kernel: runs the complete flow and reports the
+// per-stage artifacts the figure depicts — IR size after the front-end,
+// rewrites applied by the middle-end, CDFG size, and the back-end's
+// allocation/scheduling/binding products (FSM states, FUs, registers).
+// Includes ablations D1 (unconstrained resources) and middle-end-off.
+#include <benchmark/benchmark.h>
+
+#include "apps/kernels.hpp"
+#include "hls/flow.hpp"
+
+namespace {
+
+using namespace hermes;
+
+const apps::KernelSpec& kernel_by_index(std::size_t index) {
+  static const std::vector<apps::KernelSpec> kernels = apps::all_kernels();
+  return kernels[index % kernels.size()];
+}
+
+void BM_HlsFlow(benchmark::State& state) {
+  const apps::KernelSpec& spec = kernel_by_index(state.range(0));
+  state.SetLabel(spec.name + " [" + spec.category + "]");
+  hls::FlowOptions options;
+  options.top = spec.name;
+  hls::FlowResult result;
+  for (auto _ : state) {
+    auto flow = hls::run_flow(spec.source, options);
+    if (flow.ok()) result = flow.take();
+    benchmark::ClobberMemory();
+  }
+  state.counters["ir_frontend"] = static_cast<double>(result.ir_instrs_before);
+  state.counters["ir_optimized"] = static_cast<double>(result.ir_instrs_after);
+  std::size_t rewrites = 0;
+  for (const auto& pass : result.passes) rewrites += pass.changed;
+  state.counters["middle_rewrites"] = static_cast<double>(rewrites);
+  state.counters["cdfg_nodes"] = static_cast<double>(result.cdfg.nodes);
+  state.counters["cdfg_edges"] = static_cast<double>(result.cdfg.data_edges);
+  state.counters["fsm_states"] = static_cast<double>(result.fsm_states);
+  state.counters["registers"] =
+      static_cast<double>(result.binding.stats.datapath_registers);
+  state.counters["mul_fus"] =
+      static_cast<double>(result.binding.stats.multiplier_instances);
+  state.counters["shared_ops"] =
+      static_cast<double>(result.binding.stats.shared_ops);
+}
+BENCHMARK(BM_HlsFlow)->DenseRange(0, 4);
+
+/// Ablation D1: list scheduling under FU constraints vs unconstrained ASAP.
+void BM_AblationResourceConstraints(benchmark::State& state) {
+  const bool constrained = state.range(0) != 0;
+  state.SetLabel(constrained ? "list+constraints(1 mul)" : "unconstrained");
+  const apps::KernelSpec spec = apps::matmul_kernel(6);
+  hls::FlowOptions options;
+  options.top = spec.name;
+  options.constraints.enforce_resources = constrained;
+  options.constraints.multipliers = 1;
+  hls::FlowResult result;
+  for (auto _ : state) {
+    auto flow = hls::run_flow(spec.source, options);
+    if (flow.ok()) result = flow.take();
+    benchmark::ClobberMemory();
+  }
+  state.counters["fsm_states"] = static_cast<double>(result.fsm_states);
+  state.counters["mul_fus"] =
+      static_cast<double>(result.binding.stats.multiplier_instances);
+}
+BENCHMARK(BM_AblationResourceConstraints)->Arg(0)->Arg(1);
+
+/// Ablation: middle-end on/off — how much the optimization passes buy.
+void BM_AblationMiddleEnd(benchmark::State& state) {
+  const bool optimize = state.range(0) != 0;
+  state.SetLabel(optimize ? "middle-end on" : "middle-end off");
+  const apps::KernelSpec spec = apps::fir_kernel();
+  hls::FlowOptions options;
+  options.top = spec.name;
+  options.run_middle_end = optimize;
+  hls::FlowResult result;
+  for (auto _ : state) {
+    auto flow = hls::run_flow(spec.source, options);
+    if (flow.ok()) result = flow.take();
+    benchmark::ClobberMemory();
+  }
+  state.counters["ir_instrs"] = static_cast<double>(result.ir_instrs_after);
+  state.counters["fsm_states"] = static_cast<double>(result.fsm_states);
+  state.counters["netlist_cells"] =
+      static_cast<double>(result.fsmd.module.stats().cells);
+}
+BENCHMARK(BM_AblationMiddleEnd)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

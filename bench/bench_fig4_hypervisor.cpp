@@ -1,0 +1,125 @@
+// FIG4 — XtratuM time-and-space partitioning (paper Fig. 4 partition
+// diagram).
+//
+// Runs mixed-criticality cyclic plans on the 4-core machine and reports the
+// TSP metrics: partition-switch overhead vs slot granularity (ablation D5),
+// jitter, core utilization, and isolation under a misbehaving partition.
+#include <benchmark/benchmark.h>
+
+#include "hv/hypervisor.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::hv;
+
+HvConfig plan_with_slots(unsigned slots_per_frame) {
+  HvConfig config;
+  config.plan.major_frame = 10'000;  // 10 ms
+  config.plan.per_core.assign(kNumCores, {});
+  const Time slot = config.plan.major_frame / slots_per_frame;
+  for (unsigned core = 0; core < kNumCores; ++core) {
+    for (unsigned i = 0; i < slots_per_frame; ++i) {
+      config.plan.per_core[core].push_back(
+          {i * slot, slot, static_cast<PartitionId>((i + core) % 2), 0});
+    }
+  }
+  PartitionConfig p0;
+  p0.name = "appA";
+  p0.region = {0x0000, 0x4000};
+  p0.profile = {10'000, 0, 3'000};
+  PartitionConfig p1 = p0;
+  p1.name = "appB";
+  p1.region = {0x4000, 0x4000};
+  config.partitions = {p0, p1};
+  return config;
+}
+
+/// Ablation D5: finer slots react faster but pay more partition switches.
+void BM_SlotGranularity(benchmark::State& state) {
+  const unsigned slots = static_cast<unsigned>(state.range(0));
+  HvConfig config = plan_with_slots(slots);
+  RunStats stats;
+  for (auto _ : state) {
+    Hypervisor hv(config);
+    auto run = hv.run(1'000'000);  // 1 s
+    if (run.ok()) stats = run.take();
+    benchmark::ClobberMemory();
+  }
+  state.counters["ctx_switches"] = static_cast<double>(stats.context_switches);
+  const double overhead_us =
+      static_cast<double>(stats.context_switches) * 20.0;
+  state.counters["switch_overhead_pct"] = 100.0 * overhead_us / 1'000'000.0 / kNumCores;
+  state.counters["p0_jitter_us"] =
+      static_cast<double>(stats.partitions[0].max_jitter);
+  state.counters["deadline_misses"] =
+      static_cast<double>(stats.partitions[0].deadline_misses +
+                          stats.partitions[1].deadline_misses);
+}
+BENCHMARK(BM_SlotGranularity)->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+/// Partition count sweep: hypervisor overhead as the plan hosts more
+/// partitions in the same frame.
+void BM_PartitionCount(benchmark::State& state) {
+  const unsigned partitions = static_cast<unsigned>(state.range(0));
+  HvConfig config;
+  config.plan.major_frame = 10'000;
+  config.plan.per_core.assign(kNumCores, {});
+  const Time slot = config.plan.major_frame / partitions;
+  for (unsigned i = 0; i < partitions; ++i) {
+    config.plan.per_core[0].push_back(
+        {i * slot, slot, static_cast<PartitionId>(i), 0});
+    PartitionConfig p;
+    p.name = "p" + std::to_string(i);
+    p.region = {static_cast<std::uint64_t>(i) * 0x1000, 0x1000};
+    p.profile = {10'000, 0, slot / 2};
+    config.partitions.push_back(p);
+  }
+  RunStats stats;
+  for (auto _ : state) {
+    Hypervisor hv(config);
+    auto run = hv.run(500'000);
+    if (run.ok()) stats = run.take();
+    benchmark::ClobberMemory();
+  }
+  std::uint64_t misses = 0, completed = 0;
+  for (const auto& p : stats.partitions) {
+    misses += p.deadline_misses;
+    completed += p.jobs_completed;
+  }
+  state.counters["ctx_switches"] = static_cast<double>(stats.context_switches);
+  state.counters["jobs_completed"] = static_cast<double>(completed);
+  state.counters["deadline_misses"] = static_cast<double>(misses);
+  state.counters["core0_util"] = stats.core_utilization[0];
+}
+BENCHMARK(BM_PartitionCount)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Isolation: a partition that violates its MPU region every job — the
+/// victim partition's deadline record must stay clean.
+void BM_IsolationUnderFaultyNeighbor(benchmark::State& state) {
+  HvConfig config = plan_with_slots(5);
+  config.hm_table[HmEvent::kMemoryViolation] = HmAction::kRestartPartition;
+  config.partitions[0].on_job = [](PartitionApi& api) {
+    std::uint8_t byte = 0;
+    (void)api.read_mem(0x4000, &byte, 1);  // appB's memory
+  };
+  RunStats stats;
+  for (auto _ : state) {
+    Hypervisor hv(config);
+    auto run = hv.run(1'000'000);
+    if (run.ok()) stats = run.take();
+    benchmark::ClobberMemory();
+  }
+  state.counters["hm_events"] = static_cast<double>(stats.hm_log.size());
+  state.counters["victim_misses"] =
+      static_cast<double>(stats.partitions[1].deadline_misses);
+  state.counters["victim_jobs"] =
+      static_cast<double>(stats.partitions[1].jobs_completed);
+}
+BENCHMARK(BM_IsolationUnderFaultyNeighbor)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// UC-HLS — HLS use-case evaluation (paper Sec. V: "generating IP cores from
+// the source code of the applications through Bambu, and ... execution on a
+// representative NG-ULTRA platform. Metrics regarding both the functionality
+// and usability of the HLS tool and the performance of the generated IP core
+// will be collected").
+//
+// For each use-case kernel: functional verification (hardware == golden),
+// accelerator latency, the software baseline (one IR op per cycle on the
+// embedded core), resources and Fmax after the backend.
+#include <benchmark/benchmark.h>
+
+#include "apps/kernels.hpp"
+#include "common/rng.hpp"
+#include "hls/flow.hpp"
+#include "hls/testbench.hpp"
+#include "nxmap/flow.hpp"
+
+namespace {
+
+using namespace hermes;
+
+void BM_UseCaseKernel(benchmark::State& state) {
+  static const std::vector<apps::KernelSpec> kernels = apps::all_kernels();
+  const apps::KernelSpec& spec = kernels[state.range(0) % kernels.size()];
+  state.SetLabel(spec.name + " [" + spec.category + "]");
+
+  hls::FlowOptions options;
+  options.top = spec.name;
+  auto flow = hls::run_flow(spec.source, options);
+  if (!flow.ok()) {
+    state.SkipWithError(flow.status().to_string().c_str());
+    return;
+  }
+
+  // Random input images.
+  Rng rng(2718);
+  std::map<std::size_t, std::vector<std::uint64_t>> images;
+  for (std::size_t m = 0; m < flow.value().function.memories().size(); ++m) {
+    const ir::MemDecl& mem = flow.value().function.memories()[m];
+    if (!mem.is_interface) continue;
+    std::vector<std::uint64_t> image(mem.depth);
+    for (auto& word : image) word = rng.next_u64();
+    images[m] = std::move(image);
+  }
+
+  hls::CosimResult cosim;
+  for (auto _ : state) {
+    auto result = hls::cosimulate(flow.value(), {}, images, 10'000'000);
+    if (result.ok()) cosim = result.take();
+    benchmark::ClobberMemory();
+  }
+
+  // Backend for resources/Fmax.
+  const nx::NxDevice device = nx::make_device(hls::ng_ultra());
+  auto backend = nx::run_backend(flow.value().fsmd.module, device);
+
+  state.counters["functional"] = cosim.match ? 1 : 0;
+  state.counters["accel_cycles"] = static_cast<double>(cosim.hw_cycles);
+  state.counters["sw_ops"] = static_cast<double>(cosim.sw_instructions);
+  state.counters["speedup_vs_1op_cycle"] =
+      cosim.hw_cycles ? static_cast<double>(cosim.sw_instructions) /
+                            static_cast<double>(cosim.hw_cycles)
+                      : 0;
+  if (backend.ok()) {
+    state.counters["luts"] =
+        static_cast<double>(backend.value().mapped.utilization.luts);
+    state.counters["dsps"] =
+        static_cast<double>(backend.value().mapped.utilization.dsps);
+    state.counters["fmax_mhz"] = backend.value().timing.fmax_mhz;
+    // Wall-clock speedup vs the 600 MHz R52 running 1 op/cycle.
+    const double accel_time_us =
+        cosim.hw_cycles / backend.value().timing.fmax_mhz;
+    const double sw_time_us = cosim.sw_instructions / 600.0;
+    state.counters["wallclock_speedup_vs_r52"] =
+        accel_time_us > 0 ? sw_time_us / accel_time_us : 0;
+  }
+}
+BENCHMARK(BM_UseCaseKernel)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+/// Unrolling as the usability knob: latency/resource trade per unroll bound
+/// on the FIR kernel.
+void BM_UnrollTradeoff(benchmark::State& state) {
+  const unsigned unroll = static_cast<unsigned>(state.range(0));
+  const apps::KernelSpec spec = apps::fir_kernel(8, 32);
+  hls::FlowOptions options;
+  options.top = spec.name;
+  options.unroll_limit = unroll;
+  auto flow = hls::run_flow(spec.source, options);
+  if (!flow.ok()) {
+    state.SkipWithError(flow.status().to_string().c_str());
+    return;
+  }
+  Rng rng(33);
+  std::map<std::size_t, std::vector<std::uint64_t>> images;
+  for (std::size_t m = 0; m < flow.value().function.memories().size(); ++m) {
+    const ir::MemDecl& mem = flow.value().function.memories()[m];
+    if (!mem.is_interface) continue;
+    std::vector<std::uint64_t> image(mem.depth);
+    for (auto& word : image) word = rng.next_u64() & 0xFFFF;
+    images[m] = std::move(image);
+  }
+  hls::CosimResult cosim;
+  for (auto _ : state) {
+    auto result = hls::cosimulate(flow.value(), {}, images, 10'000'000);
+    if (result.ok()) cosim = result.take();
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel("unroll<=" + std::to_string(unroll));
+  state.counters["functional"] = cosim.match ? 1 : 0;
+  state.counters["accel_cycles"] = static_cast<double>(cosim.hw_cycles);
+  state.counters["fsm_states"] = static_cast<double>(flow.value().fsm_states);
+  state.counters["netlist_cells"] =
+      static_cast<double>(flow.value().fsmd.module.stats().cells);
+}
+BENCHMARK(BM_UnrollTradeoff)->Arg(0)->Arg(8)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,220 @@
+// UC-HV — hypervisor use-case evaluation (paper Sec. V: "a use case
+// inherited from the SELENE H2020 project ... includes representative
+// elements of space mission control such as an Attitude and Orbit Control
+// system (AOCS), Visual Based Navigation image processing, Electrical Orbit
+// Raising algorithms").
+//
+// Runs the three workloads as XtratuM partitions on the quad-core plan with
+// real functional payloads communicating over sampling ports, and reports
+// deadline behaviour, jitter and WCET headroom.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/aocs.hpp"
+#include "apps/compress.hpp"
+#include "apps/eor.hpp"
+#include "apps/vbn.hpp"
+#include "common/rng.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::hv;
+
+struct MissionState {
+  apps::AocsState aocs;
+  apps::AocsConfig aocs_config;
+  apps::EorState eor;
+  apps::EorConfig eor_config;
+  Rng rng{77};
+  std::uint64_t vbn_frames = 0;
+  std::uint64_t vbn_valid = 0;
+  std::uint64_t aocs_steps = 0;
+  std::uint64_t eor_arcs = 0;
+};
+
+/// The SELENE-style configuration: AOCS @ 10 Hz (hard), VBN @ 5 Hz
+/// (compute-heavy), EOR @ 1 Hz (planning), on 4 cores.
+HvConfig mission_config(const std::shared_ptr<MissionState>& mission) {
+  HvConfig config;
+  config.plan.major_frame = 100'000;  // 100 ms
+  config.plan.per_core.assign(kNumCores, {});
+  // Core 0: AOCS every 100 ms slot of 20 ms at the frame start (low jitter).
+  config.plan.per_core[0] = {{0, 20'000, 0, 0}, {20'000, 70'000, 1, 0}};
+  // Core 1: VBN gets a long slot.
+  config.plan.per_core[1] = {{0, 90'000, 1, 1}};
+  // Core 2: EOR planning.
+  config.plan.per_core[2] = {{0, 50'000, 2, 0}};
+  // Core 3: spare/system.
+  config.plan.per_core[3] = {{0, 10'000, 2, 1}};
+
+  PartitionConfig aocs;
+  aocs.name = "AOCS";
+  aocs.region = {0x00000, 0x10000};
+  aocs.profile = {100'000, 20'000, 5'000};  // 5 ms job, 20 ms deadline
+  aocs.on_job = [mission](PartitionApi& api) {
+    apps::aocs_step(mission->aocs, mission->aocs_config);
+    ++mission->aocs_steps;
+    // Publish attitude over the sampling port.
+    Message message(12);
+    for (int axis = 0; axis < 3; ++axis) {
+      const auto v = static_cast<std::uint32_t>(
+          mission->aocs.attitude_error[axis] & 0xFFFFFFFF);
+      for (int b = 0; b < 4; ++b) {
+        message[axis * 4 + b] = static_cast<std::uint8_t>(v >> (8 * b));
+      }
+    }
+    (void)api.write_port("att_src", message);
+  };
+
+  PartitionConfig vbn;
+  vbn.name = "VBN";
+  vbn.region = {0x10000, 0x20000};
+  vbn.profile = {200'000, 0, 60'000};  // heavy image processing
+  vbn.on_job = [mission](PartitionApi& api) {
+    const apps::VbnFrame frame = apps::render_frame(
+        32, 32, 14.0 + mission->rng.next_double() * 4, 16.0, 2.0, 15,
+        mission->rng);
+    const apps::VbnMeasurement m = apps::measure_centroid(frame, 60);
+    ++mission->vbn_frames;
+    if (m.valid) ++mission->vbn_valid;
+    (void)api.read_sample("att_dst");  // consume the attitude estimate
+  };
+
+  PartitionConfig eor;
+  eor.name = "EOR";
+  eor.region = {0x30000, 0x10000};
+  eor.profile = {1'000'000, 0, 30'000};
+  eor.on_job = [mission](PartitionApi&) {
+    apps::eor_step(mission->eor, mission->eor_config);
+    ++mission->eor_arcs;
+  };
+
+  config.partitions = {aocs, vbn, eor};
+  config.ports = {
+      {"att_src", PortKind::kSampling, PortDir::kSource, 0, 16, 8, 0},
+      {"att_dst", PortKind::kSampling, PortDir::kDestination, 1, 16, 8, 300'000},
+  };
+  config.channels = {{"att_src", {"att_dst"}}};
+  return config;
+}
+
+void BM_MissionPlan(benchmark::State& state) {
+  RunStats stats;
+  std::shared_ptr<MissionState> mission;
+  for (auto _ : state) {
+    mission = std::make_shared<MissionState>();
+    mission->aocs.attitude_error = {apps::fx_from_milli(150),
+                                    apps::fx_from_milli(-80),
+                                    apps::fx_from_milli(40)};
+    Hypervisor hv(mission_config(mission));
+    auto run = hv.run(10'000'000);  // 10 s of mission time
+    if (run.ok()) stats = run.take();
+    benchmark::ClobberMemory();
+  }
+  state.counters["aocs_jobs"] = static_cast<double>(stats.partitions[0].jobs_completed);
+  state.counters["aocs_misses"] = static_cast<double>(stats.partitions[0].deadline_misses);
+  state.counters["aocs_jitter_us"] = static_cast<double>(stats.partitions[0].max_jitter);
+  state.counters["vbn_jobs"] = static_cast<double>(stats.partitions[1].jobs_completed);
+  state.counters["vbn_misses"] = static_cast<double>(stats.partitions[1].deadline_misses);
+  state.counters["eor_arcs"] = static_cast<double>(mission->eor_arcs);
+  state.counters["port_msgs"] = static_cast<double>(stats.port_messages);
+  state.counters["ctx_switches"] = static_cast<double>(stats.context_switches);
+  state.counters["aocs_final_err_milli"] =
+      apps::fx_to_double(apps::fx_abs(mission->aocs.attitude_error[0])) * 1000;
+  state.counters["vbn_valid_pct"] =
+      mission->vbn_frames
+          ? 100.0 * mission->vbn_valid / mission->vbn_frames
+          : 0;
+}
+BENCHMARK(BM_MissionPlan)->Unit(benchmark::kMillisecond);
+
+/// WCET headroom sweep: inflate the AOCS job demand until the plan breaks —
+/// the classic schedulability curve.
+void BM_WcetHeadroom(benchmark::State& state) {
+  const Time wcet = static_cast<Time>(state.range(0));
+  auto mission = std::make_shared<MissionState>();
+  HvConfig config = mission_config(mission);
+  config.partitions[0].profile.wcet = wcet;
+  RunStats stats;
+  for (auto _ : state) {
+    Hypervisor hv(config);
+    auto run = hv.run(5'000'000);
+    if (run.ok()) stats = run.take();
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel("AOCS wcet " + std::to_string(wcet / 1000) + "ms (slot 20ms)");
+  state.counters["aocs_misses"] =
+      static_cast<double>(stats.partitions[0].deadline_misses);
+  state.counters["aocs_completed"] =
+      static_cast<double>(stats.partitions[0].jobs_completed);
+  state.counters["vbn_misses"] =
+      static_cast<double>(stats.partitions[1].deadline_misses);
+}
+BENCHMARK(BM_WcetHeadroom)
+    ->Arg(5'000)->Arg(10'000)->Arg(19'000)->Arg(25'000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Multi-process guest: the AOCS partition hosts an RTOS with three tasks —
+/// the 10 Hz control loop (highest priority), a 2 Hz FDIR check, and a 1 Hz
+/// telemetry compressor — scheduled priority-preemptively inside the
+/// partition's slots.
+void BM_MultiProcessAocs(benchmark::State& state) {
+  auto mission = std::make_shared<MissionState>();
+  HvConfig config = mission_config(mission);
+
+  PartitionConfig& aocs = config.partitions[0];
+  ProcessConfig control;
+  control.name = "control";
+  control.profile = {100'000, 20'000, 5'000};
+  control.priority = 3;
+  control.on_job = [mission](PartitionApi&) {
+    apps::aocs_step(mission->aocs, mission->aocs_config);
+  };
+  ProcessConfig fdir;
+  fdir.name = "fdir";
+  fdir.profile = {500'000, 0, 8'000};
+  fdir.priority = 2;
+  ProcessConfig telemetry;
+  telemetry.name = "telemetry";
+  telemetry.profile = {1'000'000, 0, 10'000};
+  telemetry.priority = 1;
+  telemetry.on_job = [mission](PartitionApi&) {
+    std::vector<std::uint16_t> samples(128);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      samples[i] = static_cast<std::uint16_t>(1000 + i);
+    }
+    apps::CompressStats stats;
+    (void)apps::rice_encode(samples, {}, &stats);
+  };
+  aocs.processes = {control, fdir, telemetry};
+
+  RunStats stats;
+  for (auto _ : state) {
+    mission->aocs = {};
+    mission->aocs.attitude_error = {apps::fx_from_milli(150), 0, 0};
+    Hypervisor hv(config);
+    auto run = hv.run(10'000'000);
+    if (run.ok()) stats = run.take();
+    benchmark::ClobberMemory();
+  }
+  const PartitionStats& p = stats.partitions[0];
+  state.counters["control_jobs"] =
+      static_cast<double>(p.processes[0].jobs_completed);
+  state.counters["control_misses"] =
+      static_cast<double>(p.processes[0].deadline_misses);
+  state.counters["fdir_jobs"] =
+      static_cast<double>(p.processes[1].jobs_completed);
+  state.counters["telemetry_jobs"] =
+      static_cast<double>(p.processes[2].jobs_completed);
+  state.counters["telemetry_preempted"] =
+      static_cast<double>(p.processes[2].preemptions);
+  state.counters["partition_cpu_ms"] = static_cast<double>(p.cpu_time) / 1000.0;
+}
+BENCHMARK(BM_MultiProcessAocs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Vision use case (paper Sec. V: "image and vision processing algorithms"):
+// Sobel edge detection synthesized to an accelerator, integrated behind the
+// AXI4 interconnect like on the real NG-ULTRA (data in DDR, DMA in, compute,
+// DMA out), and validated pixel-by-pixel. Prints before/after ASCII frames
+// and the data-movement budget the AXI memory-delay model predicts.
+#include <cstdio>
+
+#include "apps/kernels.hpp"
+#include "axi/hls_axi.hpp"
+#include "common/rng.hpp"
+#include "hls/flow.hpp"
+
+namespace {
+
+void print_frame(const char* title, const std::vector<std::uint64_t>& pixels,
+                 unsigned width, unsigned height) {
+  static const char* kRamp = " .:-=+*#%@";
+  std::printf("%s\n", title);
+  for (unsigned y = 0; y < height; ++y) {
+    std::printf("  ");
+    for (unsigned x = 0; x < width; ++x) {
+      const unsigned v = static_cast<unsigned>(pixels[y * width + x]);
+      std::printf("%c", kRamp[(v * 9) / 255]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace hermes;
+  constexpr unsigned kW = 16, kH = 16;
+
+  // Synthesize the Sobel kernel.
+  const apps::KernelSpec spec = apps::sobel_kernel(kW, kH);
+  hls::FlowOptions options;
+  options.top = spec.name;
+  auto flow = hls::run_flow(spec.source, options);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "HLS failed: %s\n", flow.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("Sobel accelerator: %u FSM states, %zu netlist cells\n\n",
+              flow.value().fsm_states, flow.value().fsmd.module.stats().cells);
+
+  // A synthetic scene: bright disc on a dark background.
+  std::vector<std::uint64_t> image(kW * kH, 16);
+  for (unsigned y = 0; y < kH; ++y) {
+    for (unsigned x = 0; x < kW; ++x) {
+      const int dx = static_cast<int>(x) - 8, dy = static_cast<int>(y) - 8;
+      if (dx * dx + dy * dy < 22) image[y * kW + x] = 220;
+    }
+  }
+  print_frame("input frame:", image, kW, kH);
+
+  // Place the frame in external DDR behind AXI and run with the DMA wrapper.
+  const axi::AxiMap map = axi::default_axi_map(flow.value().function);
+  axi::MemoryTiming timing;
+  timing.read_latency = 12;
+  timing.write_latency = 8;
+  axi::AxiSlaveMemory ddr(1 << 16, timing);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    ddr.poke_word(map.base_addr.at(0) + i, image[i], 1);
+  }
+  auto run = axi::run_with_axi(flow.value(), {}, ddr, map,
+                               axi::AxiMode::kDmaBurst);
+  if (!run.ok() || !run.value().match) {
+    std::fprintf(stderr, "AXI run failed or mismatched\n");
+    return 1;
+  }
+
+  std::vector<std::uint64_t> edges(kW * kH);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i] = ddr.peek_word(map.base_addr.at(1) + i, 1);
+  }
+  print_frame("\nedge map (computed by the accelerator, read back from DDR):",
+              edges, kW, kH);
+
+  std::printf("\ncycles: %llu compute + %llu AXI transfer = %llu total "
+              "(%llu bus beats)\n",
+              static_cast<unsigned long long>(run.value().compute_cycles),
+              static_cast<unsigned long long>(run.value().transfer_cycles),
+              static_cast<unsigned long long>(run.value().total_cycles),
+              static_cast<unsigned long long>(run.value().bus.beats));
+  std::printf("hardware result verified against the golden software model.\n");
+  return 0;
+}

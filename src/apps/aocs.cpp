@@ -1,0 +1,32 @@
+#include "apps/aocs.hpp"
+
+namespace hermes::apps {
+
+Fx aocs_step(AocsState& state, const AocsConfig& config) {
+  Fx worst = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    // PD law with saturation.
+    Fx torque = -fx_mul(config.kp, state.attitude_error[axis]) -
+                fx_mul(config.kd, state.rate[axis]);
+    torque = fx_clamp(torque, -config.max_torque, config.max_torque);
+    state.torque_cmd[axis] = torque;
+
+    // Rigid-body plant: rate += (torque + disturbance) / I * dt.
+    const Fx accel = fx_div(torque + config.disturbance, config.inertia);
+    state.rate[axis] += fx_mul(accel, config.dt);
+    state.attitude_error[axis] += fx_mul(state.rate[axis], config.dt);
+
+    const Fx err = fx_abs(state.attitude_error[axis]);
+    if (err > worst) worst = err;
+  }
+  ++state.steps;
+  return worst;
+}
+
+Fx aocs_run(AocsState& state, const AocsConfig& config, unsigned steps) {
+  Fx err = 0;
+  for (unsigned i = 0; i < steps; ++i) err = aocs_step(state, config);
+  return err;
+}
+
+}  // namespace hermes::apps

@@ -1,0 +1,41 @@
+// Attitude and Orbit Control System (AOCS) workload.
+//
+// One of the "representative elements of space mission control" used to
+// evaluate XtratuM in HERMES (Sec. V, inherited from SELENE). A three-axis
+// PD attitude controller with a rigid-body plant in Q16.16: each control
+// step reads the latest rate-gyro sample, computes a torque command, and
+// integrates the plant. Deterministic, so isolation tests can detect any
+// cross-partition interference as a trajectory change.
+#pragma once
+
+#include <array>
+
+#include "apps/fixmath.hpp"
+
+namespace hermes::apps {
+
+struct AocsConfig {
+  Fx inertia = fx_from_int(50);        ///< kg m^2 per axis (diagonal)
+  Fx kp = fx_from_milli(2500);         ///< proportional gain
+  Fx kd = fx_from_milli(9000);         ///< derivative gain
+  Fx dt = fx_from_milli(100);          ///< control period, seconds
+  Fx max_torque = fx_from_int(2);      ///< actuator saturation, N m
+  Fx disturbance = fx_from_milli(5);   ///< constant environmental torque
+};
+
+struct AocsState {
+  std::array<Fx, 3> attitude_error{};  ///< rad (small-angle)
+  std::array<Fx, 3> rate{};            ///< rad/s
+  std::array<Fx, 3> torque_cmd{};      ///< last commanded torque
+  std::uint64_t steps = 0;
+};
+
+/// One control step; returns the infinity-norm of the attitude error after
+/// the step (the controller's convergence measure).
+Fx aocs_step(AocsState& state, const AocsConfig& config);
+
+/// Convergence check used by tests: run `steps` iterations from a given
+/// initial error and report the final error norm.
+Fx aocs_run(AocsState& state, const AocsConfig& config, unsigned steps);
+
+}  // namespace hermes::apps

@@ -1,0 +1,159 @@
+#include "apps/compress.hpp"
+
+namespace hermes::apps {
+namespace {
+
+class BitWriter {
+ public:
+  void put(std::uint32_t value, unsigned bits) {
+    for (unsigned i = bits; i-- > 0;) {
+      put_bit((value >> i) & 1u);
+    }
+  }
+  void put_unary(std::uint32_t q) {
+    for (std::uint32_t i = 0; i < q; ++i) put_bit(0);
+    put_bit(1);
+  }
+  void put_bit(unsigned bit) {
+    if (used_ % 8 == 0) bytes_.push_back(0);
+    if (bit) bytes_.back() |= static_cast<std::uint8_t>(0x80u >> (used_ % 8));
+    ++used_;
+  }
+  [[nodiscard]] std::size_t bits() const { return used_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t used_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+  bool get_bit(unsigned& bit) {
+    if (pos_ >= data_.size() * 8) return false;
+    bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+    ++pos_;
+    return true;
+  }
+  bool get(unsigned bits, std::uint32_t& value) {
+    value = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+      unsigned bit = 0;
+      if (!get_bit(bit)) return false;
+      value = (value << 1) | bit;
+    }
+    return true;
+  }
+  bool get_unary(std::uint32_t& q) {
+    q = 0;
+    unsigned bit = 0;
+    while (get_bit(bit)) {
+      if (bit) return true;
+      if (++q > 1u << 20) return false;  // corrupt stream guard
+    }
+    return false;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Zigzag: signed residual -> unsigned code.
+std::uint32_t zigzag(std::int32_t v) {
+  return (static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31);
+}
+std::int32_t unzigzag(std::uint32_t v) {
+  return static_cast<std::int32_t>(v >> 1) ^ -static_cast<std::int32_t>(v & 1);
+}
+
+/// Bits Rice(k) needs for one value.
+std::size_t rice_bits(std::uint32_t value, unsigned k) {
+  return (value >> k) + 1 + k;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> rice_encode(std::span<const std::uint16_t> samples,
+                                      const RiceConfig& config,
+                                      CompressStats* stats) {
+  BitWriter out;
+  std::uint16_t previous = 0;
+  for (std::size_t start = 0; start < samples.size();
+       start += config.block_samples) {
+    const std::size_t n =
+        std::min<std::size_t>(config.block_samples, samples.size() - start);
+    // Residuals of this block (unit-delay predictor).
+    std::vector<std::uint32_t> mapped(n);
+    std::uint16_t prev = previous;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t residual =
+          static_cast<std::int32_t>(samples[start + i]) -
+          static_cast<std::int32_t>(prev);
+      mapped[i] = zigzag(residual);
+      prev = samples[start + i];
+    }
+    // Pick k minimizing the block cost.
+    unsigned best_k = 0;
+    std::size_t best_bits = SIZE_MAX;
+    for (unsigned k = 0; k <= config.max_k; ++k) {
+      std::size_t bits = 0;
+      for (std::uint32_t value : mapped) bits += rice_bits(value, k);
+      if (bits < best_bits) {
+        best_bits = bits;
+        best_k = k;
+      }
+    }
+    // Block header: 4-bit k.
+    out.put(best_k, 4);
+    for (std::uint32_t value : mapped) {
+      out.put_unary(value >> best_k);
+      if (best_k) out.put(value & ((1u << best_k) - 1), best_k);
+    }
+    previous = prev;
+  }
+  if (stats) {
+    stats->input_bits = samples.size() * 16;
+    stats->output_bits = out.bits();
+    stats->ratio = stats->output_bits
+                       ? static_cast<double>(stats->input_bits) /
+                             static_cast<double>(stats->output_bits)
+                       : 0.0;
+  }
+  return out.take();
+}
+
+Result<std::vector<std::uint16_t>> rice_decode(
+    std::span<const std::uint8_t> data, std::size_t count,
+    const RiceConfig& config) {
+  BitReader in(data);
+  std::vector<std::uint16_t> samples;
+  samples.reserve(count);
+  std::uint16_t previous = 0;
+  while (samples.size() < count) {
+    std::uint32_t k = 0;
+    if (!in.get(4, k)) {
+      return Status::Error(ErrorCode::kIntegrityError, "truncated Rice stream");
+    }
+    const std::size_t n =
+        std::min<std::size_t>(config.block_samples, count - samples.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t q = 0, r = 0;
+      if (!in.get_unary(q)) {
+        return Status::Error(ErrorCode::kIntegrityError, "truncated unary code");
+      }
+      if (k && !in.get(k, r)) {
+        return Status::Error(ErrorCode::kIntegrityError, "truncated remainder");
+      }
+      const std::uint32_t mapped = (q << k) | r;
+      const std::int32_t residual = unzigzag(mapped);
+      previous = static_cast<std::uint16_t>(previous + residual);
+      samples.push_back(previous);
+    }
+  }
+  return samples;
+}
+
+}  // namespace hermes::apps

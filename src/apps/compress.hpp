@@ -1,0 +1,39 @@
+// Sensor-data compression (paper Sec. I motivation: "low bandwidth
+// communication links between spacecraft and Earth require sensor data to be
+// pre-processed and compressed before transmission").
+//
+// CCSDS-121-style lossless pipeline: unit-delay predictor, residual zigzag
+// mapping, Rice/Golomb coding with per-block adaptive k. Encoder and decoder
+// round-trip bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hermes::apps {
+
+struct RiceConfig {
+  unsigned block_samples = 16;   ///< samples per adaptive block
+  unsigned max_k = 14;           ///< Rice parameter search bound
+};
+
+struct CompressStats {
+  std::size_t input_bits = 0;
+  std::size_t output_bits = 0;
+  double ratio = 0.0;           ///< input/output
+};
+
+/// Encodes 16-bit samples; output is byte-packed (MSB-first bitstream).
+std::vector<std::uint8_t> rice_encode(std::span<const std::uint16_t> samples,
+                                      const RiceConfig& config,
+                                      CompressStats* stats = nullptr);
+
+/// Decodes exactly `count` samples.
+Result<std::vector<std::uint16_t>> rice_decode(
+    std::span<const std::uint8_t> data, std::size_t count,
+    const RiceConfig& config);
+
+}  // namespace hermes::apps

@@ -1,0 +1,35 @@
+#include "apps/eor.hpp"
+
+#include <cmath>
+
+namespace hermes::apps {
+
+double eor_remaining_dv(const EorState& state, const EorConfig& config) {
+  const double v_now = std::sqrt(config.mu / state.sma_km);
+  const double v_target = std::sqrt(config.mu / config.target_sma_km);
+  return std::fabs(v_now - v_target);
+}
+
+double eor_step(EorState& state, const EorConfig& config) {
+  if (state.on_station) return 0.0;
+  // Arc delta-v from thrust/mass (mass treated constant over one arc).
+  const double dv_arc =
+      config.thrust_n / config.mass_kg * config.arc_seconds / 1000.0;  // km/s
+  const double remaining = eor_remaining_dv(state, config);
+  const double dv = dv_arc < remaining ? dv_arc : remaining;
+
+  // Invert the Edelbaum relation to get the new semi-major axis: spiral-out
+  // reduces circular velocity by dv.
+  const double v_now = std::sqrt(config.mu / state.sma_km);
+  const double v_new = v_now - dv;
+  state.sma_km = config.mu / (v_new * v_new);
+  state.delta_v_used += dv;
+  ++state.arcs;
+  if (eor_remaining_dv(state, config) < 1e-6) {
+    state.on_station = true;
+    state.sma_km = config.target_sma_km;
+  }
+  return eor_remaining_dv(state, config);
+}
+
+}  // namespace hermes::apps

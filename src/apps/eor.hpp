@@ -1,0 +1,37 @@
+// Electrical Orbit Raising (EOR) planning workload (paper Sec. V).
+//
+// Low-thrust transfer from an injection orbit toward GEO: each planning step
+// updates the semi-major axis from the accumulated delta-v of a thrust arc
+// (Edelbaum-style circular-to-circular approximation) and decides the next
+// arc. Q16.16-free: the orbit numbers exceed fixed-point range, so this
+// workload uses doubles (it runs on the application cores, not the FPGA).
+#pragma once
+
+#include <cstdint>
+
+namespace hermes::apps {
+
+struct EorConfig {
+  double mu = 398600.4418;        ///< km^3/s^2 (Earth)
+  double target_sma_km = 42164.0; ///< GEO
+  double thrust_n = 0.3;          ///< electric thruster
+  double mass_kg = 2000.0;
+  double arc_seconds = 6000.0;    ///< thrust arc per planning step
+};
+
+struct EorState {
+  double sma_km = 24500.0;        ///< injection orbit semi-major axis
+  double delta_v_used = 0.0;      ///< km/s
+  std::uint64_t arcs = 0;
+  bool on_station = false;
+};
+
+/// Remaining delta-v to circular target (Edelbaum, coplanar):
+/// |v_now - v_target| with v = sqrt(mu/a).
+double eor_remaining_dv(const EorState& state, const EorConfig& config);
+
+/// One planning step: apply one thrust arc, update the orbit; returns the
+/// remaining delta-v after the arc.
+double eor_step(EorState& state, const EorConfig& config);
+
+}  // namespace hermes::apps

@@ -1,0 +1,65 @@
+// Q16.16 fixed-point math for the on-board control workloads.
+//
+// Space-grade control software avoids floating point on small cores (and
+// keeps results bit-reproducible across the hypervisor simulation and any
+// HLS-synthesized variant), so the AOCS/VBN/EOR use cases compute in Q16.16.
+#pragma once
+
+#include <cstdint>
+
+namespace hermes::apps {
+
+using Fx = std::int64_t;  ///< Q16.16 carried in 64 bits (headroom for products)
+
+inline constexpr Fx kFxOne = 1 << 16;
+inline constexpr Fx kFxPi = 205887;  ///< pi * 2^16
+
+constexpr Fx fx_from_int(std::int64_t v) { return v << 16; }
+constexpr std::int64_t fx_to_int(Fx v) { return v >> 16; }
+constexpr Fx fx_from_milli(std::int64_t thousandths) {
+  return (thousandths << 16) / 1000;
+}
+constexpr double fx_to_double(Fx v) { return static_cast<double>(v) / 65536.0; }
+
+constexpr Fx fx_mul(Fx a, Fx b) { return (a * b) >> 16; }
+constexpr Fx fx_div(Fx a, Fx b) { return b == 0 ? 0 : (a << 16) / b; }
+
+/// Integer Newton square root of a Q16.16 value (non-negative input).
+constexpr Fx fx_sqrt(Fx v) {
+  if (v <= 0) return 0;
+  // sqrt in Q16.16: sqrt(v * 2^16) in integer domain.
+  std::uint64_t x = static_cast<std::uint64_t>(v) << 16;
+  std::uint64_t r = x;
+  std::uint64_t last = 0;
+  // Newton iterations converge fast from x; bound them for constexpr use.
+  for (int i = 0; i < 48 && r != last; ++i) {
+    last = r;
+    r = (r + x / r) / 2;
+  }
+  return static_cast<Fx>(r);
+}
+
+/// Bhaskara I approximation of sin on [0, pi], odd-extended to [-pi, pi].
+/// Max error ~0.0016; plenty for control-loop modelling.
+constexpr Fx fx_sin(Fx angle) {
+  // Wrap to [-pi, pi].
+  while (angle > kFxPi) angle -= 2 * kFxPi;
+  while (angle < -kFxPi) angle += 2 * kFxPi;
+  const bool negative = angle < 0;
+  const Fx x = negative ? -angle : angle;
+  // sin(x) ~= 16x(pi-x) / (5pi^2 - 4x(pi-x))
+  const Fx t = fx_mul(x, kFxPi - x);
+  const Fx num = 16 * t;
+  const Fx den = fx_mul(fx_from_int(5), fx_mul(kFxPi, kFxPi)) - 4 * t;
+  const Fx s = fx_div(num, den);
+  return negative ? -s : s;
+}
+
+constexpr Fx fx_cos(Fx angle) { return fx_sin(angle + kFxPi / 2); }
+
+constexpr Fx fx_abs(Fx v) { return v < 0 ? -v : v; }
+constexpr Fx fx_clamp(Fx v, Fx lo, Fx hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace hermes::apps

@@ -1,0 +1,126 @@
+#include "apps/kernels.hpp"
+
+#include "common/strings.hpp"
+
+namespace hermes::apps {
+
+KernelSpec sobel_kernel(unsigned width, unsigned height) {
+  KernelSpec spec;
+  spec.name = "sobel";
+  spec.category = "vision";
+  spec.input_mems = 1;
+  spec.source = format(R"(
+void sobel(uint8_t img[%u][%u], uint8_t out[%u][%u]) {
+  for (int y = 1; y < %u; y = y + 1) {
+    for (int x = 1; x < %u; x = x + 1) {
+      int gx = (int)img[y - 1][x - 1] + 2 * (int)img[y][x - 1] + (int)img[y + 1][x - 1]
+             - (int)img[y - 1][x + 1] - 2 * (int)img[y][x + 1] - (int)img[y + 1][x + 1];
+      int gy = (int)img[y - 1][x - 1] + 2 * (int)img[y - 1][x] + (int)img[y - 1][x + 1]
+             - (int)img[y + 1][x - 1] - 2 * (int)img[y + 1][x] - (int)img[y + 1][x + 1];
+      if (gx < 0) gx = -gx;
+      if (gy < 0) gy = -gy;
+      int mag = gx + gy;
+      if (mag > 255) mag = 255;
+      out[y][x] = (uint8_t)mag;
+    }
+  }
+}
+)",
+                       height, width, height, width, height - 1, width - 1);
+  return spec;
+}
+
+KernelSpec fir_kernel(unsigned taps, unsigned samples) {
+  KernelSpec spec;
+  spec.name = "fir";
+  spec.category = "sdr";
+  spec.input_mems = 2;
+  spec.source = format(R"(
+void fir(int16_t x[%u], const int16_t h[%u], int32_t y[%u]) {
+  for (int n = 0; n < %u; n = n + 1) {
+    int32_t acc = 0;
+    for (int k = 0; k < %u; k = k + 1) {
+      if (n - k >= 0) {
+        acc = acc + (int32_t)x[n - k] * (int32_t)h[k];
+      }
+    }
+    y[n] = acc;
+  }
+}
+)",
+                       samples, taps, samples, samples, taps);
+  return spec;
+}
+
+KernelSpec dense_relu_kernel(unsigned inputs, unsigned outputs) {
+  KernelSpec spec;
+  spec.name = "dense_relu";
+  spec.category = "ai";
+  spec.input_mems = 3;
+  spec.source = format(R"(
+void dense_relu(const int8_t w[%u], const int32_t b[%u], int8_t x[%u], int8_t y[%u]) {
+  for (int o = 0; o < %u; o = o + 1) {
+    int32_t acc = b[o];
+    for (int i = 0; i < %u; i = i + 1) {
+      acc = acc + (int32_t)w[o * %u + i] * (int32_t)x[i];
+    }
+    acc = acc >> 7;
+    if (acc < 0) acc = 0;
+    if (acc > 127) acc = 127;
+    y[o] = (int8_t)acc;
+  }
+}
+)",
+                       inputs * outputs, outputs, inputs, outputs, outputs,
+                       inputs, inputs);
+  return spec;
+}
+
+KernelSpec matmul_kernel(unsigned n) {
+  KernelSpec spec;
+  spec.name = "matmul";
+  spec.category = "generic";
+  spec.input_mems = 2;
+  spec.source = format(R"(
+void matmul(const int32_t a[%u][%u], const int32_t b[%u][%u], int32_t c[%u][%u]) {
+  for (int i = 0; i < %u; i = i + 1) {
+    for (int j = 0; j < %u; j = j + 1) {
+      int32_t acc = 0;
+      for (int k = 0; k < %u; k = k + 1) {
+        acc = acc + a[i][k] * b[k][j];
+      }
+      c[i][j] = acc;
+    }
+  }
+}
+)",
+                       n, n, n, n, n, n, n, n, n);
+  return spec;
+}
+
+KernelSpec histogram_kernel(unsigned samples) {
+  KernelSpec spec;
+  spec.name = "histogram";
+  spec.category = "generic";
+  spec.input_mems = 1;
+  spec.source = format(R"(
+void histogram(uint8_t data[%u], uint32_t bins[256]) {
+  for (int i = 0; i < 256; i = i + 1) {
+    bins[i] = 0;
+  }
+  for (int i = 0; i < %u; i = i + 1) {
+    int b = (int)data[i];
+    bins[b] = bins[b] + 1;
+  }
+}
+)",
+                       samples, samples);
+  return spec;
+}
+
+std::vector<KernelSpec> all_kernels() {
+  return {sobel_kernel(), fir_kernel(), dense_relu_kernel(), matmul_kernel(),
+          histogram_kernel()};
+}
+
+}  // namespace hermes::apps

@@ -1,0 +1,42 @@
+// HLS use-case kernels (paper Sec. V: "image and vision processing
+// algorithms, software-defined algorithms, and artificial intelligence
+// applications").
+//
+// Each kernel is a C source string accepted by the HLS frontend, plus its
+// interface geometry, so tests, examples and benchmarks can synthesize and
+// co-simulate them uniformly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hermes::apps {
+
+struct KernelSpec {
+  std::string name;        ///< top function name
+  std::string source;      ///< C source
+  std::string category;    ///< vision / sdr / ai / generic
+  std::size_t input_mems;  ///< number of interface arrays read
+};
+
+/// 2D Sobel edge detector on a WxH 8-bit image (vision use case).
+KernelSpec sobel_kernel(unsigned width = 16, unsigned height = 16);
+
+/// FIR filter, TAPS taps over N samples (software-defined radio use case).
+KernelSpec fir_kernel(unsigned taps = 8, unsigned samples = 64);
+
+/// Dense layer with ReLU: y = relu(W x + b), NxM (AI use case).
+KernelSpec dense_relu_kernel(unsigned inputs = 8, unsigned outputs = 8);
+
+/// Integer matrix multiply C = A * B, NxN (generic compute).
+KernelSpec matmul_kernel(unsigned n = 8);
+
+/// 256-bin histogram of an N-sample 8-bit stream (statistics / compression
+/// front-end).
+KernelSpec histogram_kernel(unsigned samples = 128);
+
+/// All kernels, for sweep-style benchmarks.
+std::vector<KernelSpec> all_kernels();
+
+}  // namespace hermes::apps

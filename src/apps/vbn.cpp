@@ -1,0 +1,52 @@
+#include "apps/vbn.hpp"
+
+#include <cmath>
+
+namespace hermes::apps {
+
+VbnFrame render_frame(unsigned width, unsigned height, double cx, double cy,
+                      double blob_sigma, unsigned noise_amplitude, Rng& rng) {
+  VbnFrame frame;
+  frame.width = width;
+  frame.height = height;
+  frame.pixels.resize(static_cast<std::size_t>(width) * height);
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const double blob =
+          220.0 * std::exp(-(dx * dx + dy * dy) / (2 * blob_sigma * blob_sigma));
+      const double noise =
+          noise_amplitude ? static_cast<double>(rng.next_below(noise_amplitude))
+                          : 0.0;
+      const double value = blob + noise;
+      frame.pixels[static_cast<std::size_t>(y) * width + x] =
+          static_cast<std::uint8_t>(value > 255 ? 255 : value);
+    }
+  }
+  return frame;
+}
+
+VbnMeasurement measure_centroid(const VbnFrame& frame, std::uint8_t threshold) {
+  VbnMeasurement result;
+  std::uint64_t sum_w = 0, sum_x = 0, sum_y = 0;
+  for (unsigned y = 0; y < frame.height; ++y) {
+    for (unsigned x = 0; x < frame.width; ++x) {
+      const std::uint8_t pixel =
+          frame.pixels[static_cast<std::size_t>(y) * frame.width + x];
+      if (pixel < threshold) continue;
+      const std::uint64_t weight = pixel - threshold;
+      sum_w += weight;
+      sum_x += weight * x;
+      sum_y += weight * y;
+      ++result.bright_pixels;
+    }
+  }
+  if (sum_w == 0 || result.bright_pixels < 3) return result;
+  result.valid = true;
+  result.x = static_cast<double>(sum_x) / static_cast<double>(sum_w);
+  result.y = static_cast<double>(sum_y) / static_cast<double>(sum_w);
+  return result;
+}
+
+}  // namespace hermes::apps

@@ -1,0 +1,36 @@
+// Visual-Based Navigation (VBN) image-processing workload (paper Sec. V).
+//
+// A lander/rendezvous-style navigation step: a synthetic camera frame with a
+// bright target blob is thresholded and the blob's weighted centroid is the
+// position measurement. Integer-only, deterministic per (frame, truth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hermes::apps {
+
+struct VbnFrame {
+  unsigned width = 32, height = 32;
+  std::vector<std::uint8_t> pixels;  ///< row-major grayscale
+};
+
+/// Renders a frame: dark noisy background plus a Gaussian-ish blob centered
+/// at (cx, cy) in pixel coordinates.
+VbnFrame render_frame(unsigned width, unsigned height, double cx, double cy,
+                      double blob_sigma, unsigned noise_amplitude, Rng& rng);
+
+struct VbnMeasurement {
+  bool valid = false;       ///< enough bright pixels found
+  double x = 0, y = 0;      ///< centroid estimate (pixels)
+  unsigned bright_pixels = 0;
+};
+
+/// Threshold + weighted centroid (the processing step run in the VBN
+/// partition; its inner loops are also what the Sobel HLS kernel
+/// accelerates in the hybrid configuration).
+VbnMeasurement measure_centroid(const VbnFrame& frame, std::uint8_t threshold);
+
+}  // namespace hermes::apps

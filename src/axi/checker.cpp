@@ -1,0 +1,94 @@
+#include "axi/checker.hpp"
+
+#include "common/strings.hpp"
+
+namespace hermes::axi {
+
+void AxiChecker::on_ar(const AddrBeat& ar) {
+  const Status legal = validate_burst(ar);
+  if (!legal.ok()) {
+    violation(format("AR: %s", legal.message().c_str()));
+  }
+  reads_[ar.id].push_back({ar, 0});
+}
+
+void AxiChecker::on_r(const ReadBeat& beat) {
+  auto it = reads_.find(beat.id);
+  if (it == reads_.end() || it->second.empty()) {
+    violation(format("R beat with no outstanding AR (id %u)", beat.id));
+    return;
+  }
+  // AXI4: data for a given ID returns in AR order.
+  ReadTxn& txn = it->second.front();
+  ++txn.beats_seen;
+  const unsigned expected = txn.ar.len + 1;
+  if (txn.beats_seen > expected) {
+    violation(format("R: more beats than ARLEN+1 (id %u)", beat.id));
+  }
+  const bool should_be_last = txn.beats_seen == expected;
+  if (beat.last != should_be_last) {
+    violation(format("R: RLAST %s on beat %u of %u (id %u)",
+                     beat.last ? "asserted" : "missing", txn.beats_seen,
+                     expected, beat.id));
+  }
+  if (beat.last || txn.beats_seen >= expected) {
+    it->second.erase(it->second.begin());
+  }
+}
+
+void AxiChecker::on_aw(const AddrBeat& aw) {
+  const Status legal = validate_burst(aw);
+  if (!legal.ok()) {
+    violation(format("AW: %s", legal.message().c_str()));
+  }
+  writes_.push_back({aw, 0, false});
+}
+
+void AxiChecker::on_w(const WriteBeat& beat) {
+  // W data follows AW order (AXI4 has no WID).
+  WriteTxn* txn = nullptr;
+  for (WriteTxn& candidate : writes_) {
+    if (!candidate.last_seen) {
+      txn = &candidate;
+      break;
+    }
+  }
+  if (!txn) {
+    violation("W beat with no open write burst");
+    return;
+  }
+  ++txn->beats_seen;
+  const unsigned expected = txn->aw.len + 1;
+  if (txn->beats_seen > expected) {
+    violation("W: more beats than AWLEN+1");
+  }
+  const bool should_be_last = txn->beats_seen == expected;
+  if (beat.last != should_be_last) {
+    violation(format("W: WLAST %s on beat %u of %u",
+                     beat.last ? "asserted" : "missing", txn->beats_seen,
+                     expected));
+  }
+  if (beat.last) txn->last_seen = true;
+}
+
+void AxiChecker::on_b(Resp resp, unsigned id) {
+  (void)resp;
+  for (std::size_t i = 0; i < writes_.size(); ++i) {
+    if (writes_[i].aw.id == id) {
+      if (!writes_[i].last_seen) {
+        violation(format("B before WLAST (id %u)", id));
+      }
+      writes_.erase(writes_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  violation(format("B with no outstanding AW (id %u)", id));
+}
+
+std::size_t AxiChecker::dangling() const {
+  std::size_t count = writes_.size();
+  for (const auto& [id, queue] : reads_) count += queue.size();
+  return count;
+}
+
+}  // namespace hermes::axi

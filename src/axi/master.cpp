@@ -1,0 +1,108 @@
+#include "axi/master.hpp"
+
+#include <cassert>
+
+namespace hermes::axi {
+
+void AxiMaster::read(std::uint64_t addr, std::span<std::uint8_t> out) {
+  if (out.empty()) return;
+  const unsigned size_log2 = 2;  // 32-bit data bus
+  const std::uint64_t beat_bytes = 1ULL << size_log2;
+  const auto bursts = split_transfer(addr, out.size(), size_log2);
+  for (const AddrBeat& ar : bursts) {
+    ++stats_.bursts;
+    while (!slave_.push_read(ar)) {
+      tick();
+      ++stats_.stall_cycles;
+    }
+    if (checker_) checker_->on_ar(ar);
+    tick();  // AR handshake cycle
+    unsigned beat = 0;
+    while (beat <= ar.len) {
+      ReadBeat rb;
+      if (slave_.pop_read_beat(rb)) {
+        ++stats_.beats;
+        if (checker_) checker_->on_r(rb);
+        const std::uint64_t beat_addr = beat_address(ar, beat);
+        for (unsigned lane = 0; lane < beat_bytes; ++lane) {
+          const std::uint64_t byte_addr = beat_addr + lane;
+          if (byte_addr >= addr && byte_addr < addr + out.size()) {
+            out[byte_addr - addr] = static_cast<std::uint8_t>(rb.data >> (8 * lane));
+            ++stats_.bytes_read;
+          }
+        }
+        ++beat;
+      } else {
+        ++stats_.stall_cycles;
+      }
+      tick();
+    }
+  }
+}
+
+void AxiMaster::write(std::uint64_t addr, std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  const unsigned size_log2 = 2;
+  const std::uint64_t beat_bytes = 1ULL << size_log2;
+  const auto bursts = split_transfer(addr, data.size(), size_log2);
+  for (const AddrBeat& aw : bursts) {
+    ++stats_.bursts;
+    if (checker_) checker_->on_aw(aw);
+    std::vector<WriteBeat> beats;
+    for (unsigned beat = 0; beat <= aw.len; ++beat) {
+      const std::uint64_t beat_addr = beat_address(aw, beat);
+      WriteBeat wb;
+      wb.strb = 0;
+      for (unsigned lane = 0; lane < beat_bytes; ++lane) {
+        const std::uint64_t byte_addr = beat_addr + lane;
+        if (byte_addr >= addr && byte_addr < addr + data.size()) {
+          wb.strb |= static_cast<std::uint8_t>(1u << lane);
+          wb.data |= static_cast<std::uint64_t>(data[byte_addr - addr])
+                     << (8 * lane);
+          ++stats_.bytes_written;
+        }
+      }
+      wb.last = beat == aw.len;
+      if (checker_) checker_->on_w(wb);
+      beats.push_back(wb);
+      tick();  // one W beat per cycle
+      ++stats_.beats;
+    }
+    while (!slave_.push_write(aw, beats)) {
+      tick();
+      ++stats_.stall_cycles;
+    }
+    Resp resp = Resp::kOkay;
+    unsigned id = 0;
+    while (!slave_.pop_write_resp(resp, id)) {
+      tick();
+      ++stats_.stall_cycles;
+    }
+    if (checker_) checker_->on_b(resp, id);
+    tick();  // B handshake
+    assert(resp == Resp::kOkay || resp == Resp::kDecErr);
+  }
+}
+
+std::uint64_t AxiMaster::read_word(std::uint64_t addr, unsigned bytes) {
+  assert(bytes >= 1 && bytes <= 8);
+  std::uint8_t buffer[8] = {0};
+  read(addr, std::span(buffer, bytes));
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    value |= static_cast<std::uint64_t>(buffer[i]) << (8 * i);
+  }
+  return value;
+}
+
+void AxiMaster::write_word(std::uint64_t addr, std::uint64_t value,
+                           unsigned bytes) {
+  assert(bytes >= 1 && bytes <= 8);
+  std::uint8_t buffer[8];
+  for (unsigned i = 0; i < bytes; ++i) {
+    buffer[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  write(addr, std::span<const std::uint8_t>(buffer, bytes));
+}
+
+}  // namespace hermes::axi

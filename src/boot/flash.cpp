@@ -1,0 +1,62 @@
+#include "boot/flash.hpp"
+
+#include <cassert>
+
+#include "fault/tmr.hpp"
+
+namespace hermes::boot {
+
+void FlashDevice::program(std::uint64_t addr, std::span<const std::uint8_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (addr + i < store_.size()) store_[addr + i] = data[i];
+  }
+}
+
+std::uint64_t FlashDevice::read(std::uint64_t addr,
+                                std::span<std::uint8_t> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = peek(addr + i);
+  }
+  const std::uint64_t words = (out.size() + 3) / 4;
+  return timing_.setup_cycles + words * timing_.cycles_per_word;
+}
+
+void FlashDevice::inject_bitflips(std::size_t count, Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t byte = rng.next_below(store_.size());
+    const unsigned bit = static_cast<unsigned>(rng.next_below(8));
+    store_[byte] ^= static_cast<std::uint8_t>(1u << bit);
+  }
+}
+
+FlashBank::FlashBank(std::size_t bytes, unsigned replicas, FlashTiming timing) {
+  assert(replicas == 1 || replicas == 3);
+  for (unsigned i = 0; i < replicas; ++i) {
+    devices_.emplace_back(bytes, timing);
+  }
+}
+
+void FlashBank::program(std::uint64_t addr, std::span<const std::uint8_t> data) {
+  for (FlashDevice& device : devices_) device.program(addr, data);
+}
+
+FlashBank::ReadResult FlashBank::read(std::uint64_t addr,
+                                      std::span<std::uint8_t> out) const {
+  ReadResult result;
+  if (devices_.size() == 1) {
+    result.cycles = devices_[0].read(addr, out);
+    return result;
+  }
+  std::vector<std::uint8_t> a(out.size()), b(out.size()), c(out.size());
+  result.cycles += devices_[0].read(addr, a);
+  result.cycles += devices_[1].read(addr, b);
+  result.cycles += devices_[2].read(addr, c);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const fault::VoteResult vote = fault::vote_bitwise(a[i], b[i], c[i]);
+    out[i] = static_cast<std::uint8_t>(vote.value);
+    if (vote.corrected) ++result.corrected_bytes;
+  }
+  return result;
+}
+
+}  // namespace hermes::boot

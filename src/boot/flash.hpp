@@ -1,0 +1,73 @@
+// Boot flash device model.
+//
+// BL1 manages "basic redundancy for software components stored in Flash
+// (either through TMR or through sequential accesses to multiple hardware
+// Flash components)" (HERMES, Sec. IV). The model provides byte-accurate
+// NOR-flash-like devices with read timing and radiation bit-flip injection,
+// plus a redundant bank (1 or 3 devices) with TMR-voted reads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hermes::boot {
+
+struct FlashTiming {
+  unsigned setup_cycles = 12;    ///< per-command overhead
+  unsigned cycles_per_word = 4;  ///< 32-bit word read
+};
+
+class FlashDevice {
+ public:
+  explicit FlashDevice(std::size_t bytes, FlashTiming timing = {})
+      : store_(bytes, 0xFF), timing_(timing) {}
+
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+
+  void program(std::uint64_t addr, std::span<const std::uint8_t> data);
+  /// Reads bytes; returns consumed device cycles.
+  std::uint64_t read(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  /// Radiation: flips `count` random bits anywhere in the array.
+  void inject_bitflips(std::size_t count, Rng& rng);
+
+  [[nodiscard]] std::uint8_t peek(std::uint64_t addr) const {
+    return addr < store_.size() ? store_[addr] : 0xFF;
+  }
+
+ private:
+  std::vector<std::uint8_t> store_;
+  FlashTiming timing_;
+};
+
+/// A bank of 1 or 3 flash devices storing identical images. Reads from a
+/// 3-device bank are bitwise TMR-voted; corrections are counted.
+class FlashBank {
+ public:
+  /// `replicas` must be 1 or 3.
+  FlashBank(std::size_t bytes, unsigned replicas, FlashTiming timing = {});
+
+  [[nodiscard]] unsigned replicas() const {
+    return static_cast<unsigned>(devices_.size());
+  }
+  [[nodiscard]] std::size_t size() const { return devices_[0].size(); }
+
+  /// Programs all replicas.
+  void program(std::uint64_t addr, std::span<const std::uint8_t> data);
+
+  struct ReadResult {
+    std::uint64_t cycles = 0;
+    std::uint64_t corrected_bytes = 0;  ///< TMR vote disagreements fixed
+  };
+  ReadResult read(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  FlashDevice& device(unsigned index) { return devices_.at(index); }
+
+ private:
+  std::vector<FlashDevice> devices_;
+};
+
+}  // namespace hermes::boot

@@ -1,0 +1,88 @@
+#include "boot/soc.hpp"
+
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace hermes::boot {
+
+Status Soc::resolve(std::uint64_t addr, std::uint64_t bytes, bool write,
+                    std::vector<std::uint8_t> const** region,
+                    std::uint64_t* offset) const {
+  const auto in = [&](std::uint64_t base, std::uint64_t size) {
+    return addr >= base && addr + bytes <= base + size;
+  };
+  if (in(MemoryMap::kTcmBase, MemoryMap::kTcmSize)) {
+    if (!tcm_enabled) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "TCM access before TCM initialization");
+    }
+    *region = &tcm_;
+    *offset = addr - MemoryMap::kTcmBase;
+  } else if (in(MemoryMap::kSramBase, MemoryMap::kSramSize)) {
+    *region = &sram_;
+    *offset = addr - MemoryMap::kSramBase;
+  } else if (addr >= MemoryMap::kDdrBase &&
+             addr + bytes <= MemoryMap::kDdrBase + ddr_.size()) {
+    if (!ddr_ready) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "DDR access before controller initialization");
+    }
+    *region = &ddr_;
+    *offset = addr - MemoryMap::kDdrBase;
+  } else {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         format("access to unmapped address 0x%llx",
+                                static_cast<unsigned long long>(addr)));
+  }
+
+  if (mpu_enabled) {
+    bool allowed = false;
+    for (const MpuRegion& mpu_region : mpu) {
+      if (addr >= mpu_region.base &&
+          addr + bytes <= mpu_region.base + mpu_region.size) {
+        if (!write || mpu_region.writable) allowed = true;
+        break;
+      }
+    }
+    if (!allowed) {
+      return Status::Error(ErrorCode::kIsolationFault,
+                           format("MPU forbids %s at 0x%llx",
+                                  write ? "write" : "read",
+                                  static_cast<unsigned long long>(addr)));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Soc::write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> const* region = nullptr;
+  std::uint64_t offset = 0;
+  Status status = resolve(addr, data.size(), /*write=*/true, &region, &offset);
+  if (!status.ok()) return status;
+  std::memcpy(const_cast<std::uint8_t*>(region->data()) + offset, data.data(),
+              data.size());
+  return Status::Ok();
+}
+
+Status Soc::read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const {
+  std::vector<std::uint8_t> const* region = nullptr;
+  std::uint64_t offset = 0;
+  Status status = resolve(addr, out.size(), /*write=*/false, &region, &offset);
+  if (!status.ok()) return status;
+  std::memcpy(out.data(), region->data() + offset, out.size());
+  return Status::Ok();
+}
+
+Status Soc::program_efpga(std::span<const std::uint8_t> bitstream) {
+  auto info = nx::verify_bitstream(bitstream);
+  if (!info.ok()) return info.status();
+  // Configuration port throughput: ~1 word per cycle.
+  charge(bitstream.size() / 4 + 256);
+  efpga_programmed = true;
+  efpga_device_id = info.value().device_id;
+  efpga_frames = info.value().frames;
+  return Status::Ok();
+}
+
+}  // namespace hermes::boot

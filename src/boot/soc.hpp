@@ -1,0 +1,82 @@
+// NG-ULTRA SoC model for the boot chain.
+//
+// Byte-accurate memory map (TCM / SRAM / DDR), device bring-up state (PLLs,
+// DDR controller, flash controller, SpaceWire controller, caches, MPU) and
+// the eFPGA configuration port. BL0/BL1 manipulate exactly this state, so
+// the boot sequence of paper Fig. 5 is reproduced step by step, and skipping
+// a mandatory init step is an observable failure (e.g. touching DDR before
+// the controller is up).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hv/types.hpp"
+#include "nxmap/bitstream.hpp"
+
+namespace hermes::boot {
+
+struct MemoryMap {
+  static constexpr std::uint64_t kTcmBase = 0x0000'0000;
+  static constexpr std::uint64_t kTcmSize = 64 * 1024;
+  static constexpr std::uint64_t kSramBase = 0x1000'0000;
+  static constexpr std::uint64_t kSramSize = 1024 * 1024;
+  static constexpr std::uint64_t kDdrBase = 0x8000'0000;
+};
+
+/// One MPU region descriptor (R52-style, region-based).
+struct MpuRegion {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  bool writable = true;
+};
+
+class Soc {
+ public:
+  explicit Soc(std::size_t ddr_bytes = 8 * 1024 * 1024)
+      : tcm_(MemoryMap::kTcmSize, 0),
+        sram_(MemoryMap::kSramSize, 0),
+        ddr_(ddr_bytes, 0) {}
+
+  // ---- device bring-up state (set by the boot stages) ----
+  bool cpu0_initialized = false;   ///< registers, caches, exception vectors
+  bool pll_locked = false;
+  bool ddr_ready = false;
+  bool flash_ready = false;
+  bool spw_ready = false;
+  bool tcm_enabled = false;
+  std::vector<MpuRegion> mpu;
+  bool mpu_enabled = false;
+  unsigned cores_released = 1;     ///< CPU0 runs first; BL2/app releases the rest
+
+  // ---- eFPGA configuration port ----
+  bool efpga_programmed = false;
+  std::uint32_t efpga_device_id = 0;
+  unsigned efpga_frames = 0;
+
+  // ---- cycle accounting ----
+  std::uint64_t cycles = 0;
+  void charge(std::uint64_t n) { cycles += n; }
+
+  // ---- memory access through the map ----
+  /// Fails when the target region's controller is not initialized or the
+  /// (enabled) MPU forbids the access.
+  Status write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data);
+  Status read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  /// Programs the eFPGA from a bitstream image (integrity-checked).
+  Status program_efpga(std::span<const std::uint8_t> bitstream);
+
+  [[nodiscard]] std::size_t ddr_size() const { return ddr_.size(); }
+
+ private:
+  Status resolve(std::uint64_t addr, std::uint64_t bytes, bool write,
+                 std::vector<std::uint8_t> const** region,
+                 std::uint64_t* offset) const;
+
+  std::vector<std::uint8_t> tcm_, sram_, ddr_;
+};
+
+}  // namespace hermes::boot

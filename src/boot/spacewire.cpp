@@ -1,0 +1,92 @@
+#include "boot/spacewire.hpp"
+
+#include "common/crc.hpp"
+#include "common/strings.hpp"
+
+namespace hermes::boot {
+
+bool SpaceWireLink::transfer(SpwPacket& packet, std::uint64_t& cycles) {
+  // Frame: type + payload + CRC16 over both.
+  std::vector<std::uint8_t> frame;
+  frame.push_back(packet.type);
+  frame.insert(frame.end(), packet.payload.begin(), packet.payload.end());
+  const std::uint16_t crc = crc16_ccitt(frame);
+  frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+  frame.push_back(static_cast<std::uint8_t>(crc));
+
+  cycles += timing_.packet_overhead +
+            static_cast<std::uint64_t>(frame.size()) * timing_.cycles_per_byte;
+
+  // Wire corruption.
+  if (ber_ > 0) {
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+      for (unsigned bit = 0; bit < 8; ++bit) {
+        if (rng_.next_bool(ber_)) {
+          frame[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        }
+      }
+    }
+  }
+
+  // Receiver: re-check CRC.
+  const std::uint16_t received =
+      static_cast<std::uint16_t>((frame[frame.size() - 2] << 8) |
+                                 frame[frame.size() - 1]);
+  frame.resize(frame.size() - 2);
+  if (crc16_ccitt(frame) != received) {
+    ++crc_errors_;
+    return false;
+  }
+  packet.type = frame[0];
+  packet.payload.assign(frame.begin() + 1, frame.end());
+  return true;
+}
+
+Result<std::vector<std::uint8_t>> SpaceWireLink::fetch(std::string_view name,
+                                                       std::uint64_t& cycles,
+                                                       unsigned max_retries) {
+  const auto it = objects_.find(std::string(name));
+  // The request packet still crosses the wire even for unknown objects.
+  SpwPacket request;
+  request.type = kSpwOpRequest;
+  request.payload.assign(name.begin(), name.end());
+  if (!transfer(request, cycles)) {
+    // A corrupted request is simply re-sent.
+  }
+  if (it == objects_.end()) {
+    SpwPacket nack;
+    nack.type = kSpwOpNack;
+    transfer(nack, cycles);
+    return Status::Error(ErrorCode::kNotFound,
+                         format("SpaceWire object '%.*s' not hosted",
+                                static_cast<int>(name.size()), name.data()));
+  }
+
+  // Chunked transfer: 256-byte data packets, each retried on CRC failure.
+  constexpr std::size_t kChunk = 256;
+  const std::vector<std::uint8_t>& object = it->second;
+  std::vector<std::uint8_t> received;
+  received.reserve(object.size());
+  for (std::size_t offset = 0; offset < object.size(); offset += kChunk) {
+    const std::size_t n = std::min(kChunk, object.size() - offset);
+    bool delivered = false;
+    for (unsigned attempt = 0; attempt <= max_retries; ++attempt) {
+      SpwPacket data;
+      data.type = offset + n >= object.size() ? kSpwOpEnd : kSpwOpData;
+      data.payload.assign(object.begin() + offset, object.begin() + offset + n);
+      if (transfer(data, cycles)) {
+        received.insert(received.end(), data.payload.begin(), data.payload.end());
+        delivered = true;
+        break;
+      }
+      ++retries_;
+    }
+    if (!delivered) {
+      return Status::Error(ErrorCode::kIntegrityError,
+                           "SpaceWire chunk exceeded retry budget");
+    }
+  }
+  return received;
+}
+
+}  // namespace hermes::boot

@@ -1,0 +1,72 @@
+// SpaceWire link model with the custom BL1 load protocol.
+//
+// BL0 can fetch BL1 "remotely from the SpaceWire bus", and BL1 manages "a
+// load list, either stored in Flash or remotely received from SpaceWire
+// following a custom protocol" (HERMES, Sec. IV). The model is a
+// packet-based link (CRC-16-framed packets, configurable byte rate) to a
+// ground-support endpoint that serves named objects (the load list, software
+// images, bitstreams).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/rng.hpp"
+
+namespace hermes::boot {
+
+struct SpwTiming {
+  unsigned cycles_per_byte = 10;  ///< ~100 Mbit at 1 GHz reference clock
+  unsigned packet_overhead = 64;  ///< header + EOP handling
+};
+
+/// One framed packet on the wire.
+struct SpwPacket {
+  std::uint8_t type = 0;     ///< protocol opcode
+  std::vector<std::uint8_t> payload;
+};
+
+inline constexpr std::uint8_t kSpwOpRequest = 0x01;  ///< payload = object name
+inline constexpr std::uint8_t kSpwOpData = 0x02;     ///< payload = object chunk
+inline constexpr std::uint8_t kSpwOpEnd = 0x03;      ///< final chunk marker
+inline constexpr std::uint8_t kSpwOpNack = 0x7F;     ///< object unknown
+
+/// Serializes/parses packets with CRC-16 framing; flips bits with the given
+/// error rate to model link upsets (the protocol detects them by CRC).
+class SpaceWireLink {
+ public:
+  explicit SpaceWireLink(SpwTiming timing = {}, double bit_error_rate = 0.0,
+                         std::uint64_t seed = 99)
+      : timing_(timing), ber_(bit_error_rate), rng_(seed) {}
+
+  /// The remote endpoint: objects addressable by name.
+  void host_object(std::string name, std::vector<std::uint8_t> data) {
+    objects_[std::move(name)] = std::move(data);
+  }
+
+  /// Requests an object; retries CRC-failed chunks up to `max_retries`.
+  /// Returns the data; accumulates the transfer cycle count in `cycles`.
+  Result<std::vector<std::uint8_t>> fetch(std::string_view name,
+                                          std::uint64_t& cycles,
+                                          unsigned max_retries = 3);
+
+  [[nodiscard]] std::uint64_t crc_errors_detected() const { return crc_errors_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
+ private:
+  /// Wire transfer of one packet: charges cycles, maybe corrupts payload.
+  /// Returns false if the frame CRC check failed at the receiver.
+  bool transfer(SpwPacket& packet, std::uint64_t& cycles);
+
+  SpwTiming timing_;
+  double ber_;
+  Rng rng_;
+  std::map<std::string, std::vector<std::uint8_t>> objects_;
+  std::uint64_t crc_errors_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace hermes::boot

@@ -1,0 +1,71 @@
+// Bit-manipulation helpers shared by the HLS datapath evaluator, the netlist
+// simulator, and the EDAC codecs. All datapath values are carried as
+// std::uint64_t truncated to an explicit bit width.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace hermes {
+
+/// Mask with the low `width` bits set; width must be in [0, 64].
+constexpr std::uint64_t bit_mask(unsigned width) {
+  assert(width <= 64);
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+/// Truncates `value` to `width` bits.
+constexpr std::uint64_t truncate(std::uint64_t value, unsigned width) {
+  return value & bit_mask(width);
+}
+
+/// Sign-extends the low `width` bits of `value` to a signed 64-bit integer.
+constexpr std::int64_t sign_extend(std::uint64_t value, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  if (width == 64) return static_cast<std::int64_t>(value);
+  const std::uint64_t sign_bit = 1ULL << (width - 1);
+  const std::uint64_t truncated = truncate(value, width);
+  return static_cast<std::int64_t>((truncated ^ sign_bit) - sign_bit);
+}
+
+/// Extracts bit `index` of `value`.
+constexpr bool get_bit(std::uint64_t value, unsigned index) {
+  assert(index < 64);
+  return (value >> index) & 1u;
+}
+
+/// Returns `value` with bit `index` set to `bit`.
+constexpr std::uint64_t set_bit(std::uint64_t value, unsigned index, bool bit) {
+  assert(index < 64);
+  const std::uint64_t mask = 1ULL << index;
+  return bit ? (value | mask) : (value & ~mask);
+}
+
+/// Number of bits needed to represent `value` (at least 1).
+constexpr unsigned bit_width_of(std::uint64_t value) {
+  unsigned width = 1;
+  while (value > 1) {
+    value >>= 1;
+    ++width;
+  }
+  return width;
+}
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+/// Parity (XOR reduction) of a word.
+constexpr bool parity(std::uint64_t value) {
+  value ^= value >> 32;
+  value ^= value >> 16;
+  value ^= value >> 8;
+  value ^= value >> 4;
+  value ^= value >> 2;
+  value ^= value >> 1;
+  return value & 1u;
+}
+
+}  // namespace hermes

@@ -1,0 +1,62 @@
+#include "common/crc.hpp"
+
+#include <array>
+
+namespace hermes {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32_table() {
+  static const auto table = make_crc32_table();
+  return table;
+}
+
+}  // namespace
+
+Crc32::Crc32() : state_(0xFFFFFFFFu) {}
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  const auto& table = crc32_table();
+  for (std::uint8_t byte : data) {
+    state_ = table[(state_ ^ byte) & 0xFFu] ^ (state_ >> 8);
+  }
+}
+
+void Crc32::update(const void* data, std::size_t size) {
+  update(std::span(static_cast<const std::uint8_t*>(data), size));
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32(std::span(static_cast<const std::uint8_t*>(data), size));
+}
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0xFFFFu;
+  for (std::uint8_t byte : data) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000u) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+                            : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+}  // namespace hermes

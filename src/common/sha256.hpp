@@ -1,0 +1,38 @@
+// SHA-256 used by BL1 to authenticate load-list entries (strong integrity,
+// complementing the fast CRC-32 check on the transport framing).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace hermes {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256();
+  void update(std::span<const std::uint8_t> data);
+  void update(const void* data, std::size_t size);
+  /// Finalizes and returns the digest. The object must not be reused after.
+  [[nodiscard]] Sha256Digest digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_bytes_;
+  std::size_t buffered_;
+};
+
+/// One-shot SHA-256.
+Sha256Digest sha256(std::span<const std::uint8_t> data);
+
+/// Lowercase hex rendering of a digest.
+std::string to_hex(const Sha256Digest& digest);
+
+}  // namespace hermes

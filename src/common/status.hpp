@@ -1,0 +1,95 @@
+// Lightweight status / expected types used across the HERMES libraries.
+//
+// Most of the toolchain reports recoverable errors (bad input program, malformed
+// load list, timing violation, ...) through Status / Result<T> rather than
+// exceptions, so that callers such as the benchmark harness can enumerate
+// failures without unwinding.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hermes {
+
+/// Broad error categories shared by all HERMES tools.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kParseError,        ///< frontend could not parse the input program
+  kTypeError,         ///< frontend type checking failed
+  kUnsupported,       ///< construct outside the supported C subset / feature set
+  kResourceExhausted, ///< device capacity exceeded (LUTs, DSPs, RAMs, slots)
+  kTimingViolation,   ///< STA or scheduler could not meet the clock constraint
+  kIntegrityError,    ///< checksum / signature mismatch (boot, bitstream)
+  kIsolationFault,    ///< hypervisor space/time isolation violation
+  kNotFound,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("ok", "parse_error", ...).
+const char* to_string(ErrorCode code);
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status Error(ErrorCode code, std::string message) {
+    return {code, std::move(message)};
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() && "Result error must carry a non-ok Status");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  [[nodiscard]] const Status& status() const {
+    static const Status kOkStatus;
+    return ok() ? kOkStatus : std::get<Status>(data_);
+  }
+
+  [[nodiscard]] T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace hermes

@@ -1,0 +1,27 @@
+// Small string helpers used by the frontend lexer, report generators and the
+// Verilog emitter.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes {
+
+/// Splits on a single-character delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with / ends with the given prefix or suffix.
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hermes

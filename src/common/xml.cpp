@@ -1,0 +1,91 @@
+#include "common/xml.hpp"
+
+#include <cassert>
+
+namespace hermes {
+
+std::string XmlWriter::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void XmlWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void XmlWriter::close_open_tag() {
+  if (tag_open_) {
+    out_ << ">\n";
+    tag_open_ = false;
+  }
+}
+
+void XmlWriter::begin_element(std::string_view name) {
+  close_open_tag();
+  indent();
+  out_ << '<' << name;
+  stack_.emplace_back(name);
+  tag_open_ = true;
+  had_children_ = false;
+}
+
+void XmlWriter::attribute(std::string_view name, std::string_view value) {
+  assert(tag_open_ && "attribute() must directly follow begin_element()");
+  out_ << ' ' << name << "=\"" << escape(value) << '"';
+}
+
+void XmlWriter::attribute(std::string_view name, std::int64_t value) {
+  attribute(name, std::to_string(value));
+}
+
+void XmlWriter::attribute(std::string_view name, double value) {
+  std::ostringstream tmp;
+  tmp << value;
+  attribute(name, tmp.str());
+}
+
+void XmlWriter::text(std::string_view content) {
+  close_open_tag();
+  indent();
+  out_ << escape(content) << '\n';
+  had_children_ = true;
+}
+
+void XmlWriter::end_element() {
+  assert(!stack_.empty());
+  const std::string name = stack_.back();
+  stack_.pop_back();
+  if (tag_open_) {
+    out_ << "/>\n";
+    tag_open_ = false;
+  } else {
+    indent();
+    out_ << "</" << name << ">\n";
+  }
+  had_children_ = true;
+}
+
+void XmlWriter::empty_element(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& attrs) {
+  begin_element(name);
+  for (const auto& [key, value] : attrs) attribute(key, value);
+  end_element();
+}
+
+std::string XmlWriter::str() const {
+  assert(stack_.empty() && "unclosed XML elements");
+  return out_.str();
+}
+
+}  // namespace hermes

@@ -1,0 +1,45 @@
+// Minimal XML writer. Eucalyptus (the Bambu component characterization tool)
+// stores latency/area characterization results "as XML files in the Bambu
+// library"; this writer produces that artifact.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes {
+
+/// Streaming XML writer with automatic indentation and escaping.
+class XmlWriter {
+ public:
+  XmlWriter() { out_ << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"; }
+
+  /// Opens <name>; close with end_element(). Attributes may be added with
+  /// attribute() before any child or text is written.
+  void begin_element(std::string_view name);
+  void attribute(std::string_view name, std::string_view value);
+  void attribute(std::string_view name, std::int64_t value);
+  void attribute(std::string_view name, double value);
+  void text(std::string_view content);
+  void end_element();
+
+  /// Convenience: <name attr.../> with no children.
+  void empty_element(std::string_view name,
+                     const std::vector<std::pair<std::string, std::string>>& attrs);
+
+  /// Final document; all elements must be closed.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void close_open_tag();
+  void indent();
+  static std::string escape(std::string_view raw);
+
+  std::ostringstream out_;
+  std::vector<std::string> stack_;
+  bool tag_open_ = false;
+  bool had_children_ = true;
+};
+
+}  // namespace hermes

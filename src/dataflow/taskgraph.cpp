@@ -1,0 +1,211 @@
+#include "dataflow/taskgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/strings.hpp"
+
+namespace hermes::df {
+
+Task task_from_flow(const hls::FlowResult& flow, std::uint64_t measured_latency) {
+  Task task;
+  task.name = flow.function.name();
+  task.latency = measured_latency == 0 ? 1 : measured_latency;
+  task.fsm_states = flow.fsm_states;
+  task.luts = 0;
+  const hw::NetlistStats stats = flow.fsmd.module.stats();
+  // Rough datapath LUT estimate: arithmetic cells dominate; muxes and
+  // registers contribute fractions.
+  task.luts = stats.arithmetic * 40 + stats.muxes * 8 + stats.register_bits / 2;
+  return task;
+}
+
+Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
+                                        std::uint64_t input_tokens,
+                                        std::uint64_t max_cycles) {
+  const std::size_t n = graph.tasks.size();
+  if (n == 0) {
+    return Status::Error(ErrorCode::kInvalidArgument, "empty task graph");
+  }
+
+  std::vector<std::size_t> occupancy(graph.channels.size(), 0);
+  std::vector<std::vector<std::size_t>> in_channels(n), out_channels(n);
+  for (std::size_t c = 0; c < graph.channels.size(); ++c) {
+    in_channels[graph.channels[c].to].push_back(c);
+    out_channels[graph.channels[c].from].push_back(c);
+  }
+
+  std::vector<std::uint64_t> pending_inputs(n, 0);
+  for (std::size_t s : graph.sources) pending_inputs[s] = input_tokens;
+
+  // Per-task state: firings in flight (completion cycle), next allowed start.
+  struct Firing {
+    std::uint64_t completes_at;
+    std::size_t task;
+  };
+  auto cmp = [](const Firing& a, const Firing& b) {
+    return a.completes_at > b.completes_at;
+  };
+  std::priority_queue<Firing, std::vector<Firing>, decltype(cmp)> in_flight(cmp);
+  std::vector<std::uint64_t> next_start(n, 0);
+  std::vector<std::uint64_t> busy_cycles(n, 0);
+  std::vector<std::uint64_t> outputs_remaining(n, 0);
+  for (std::size_t s : graph.sinks) outputs_remaining[s] = input_tokens;
+
+  DataflowStats stats;
+  std::uint64_t now = 0;
+  const std::uint64_t sink_tokens_needed =
+      static_cast<std::uint64_t>(graph.sinks.size()) * input_tokens;
+  std::uint64_t sink_tokens_done = 0;
+
+  auto can_fire = [&](std::size_t t) {
+    if (now < next_start[t]) return false;
+    const bool is_source =
+        std::find(graph.sources.begin(), graph.sources.end(), t) !=
+        graph.sources.end();
+    if (is_source) {
+      if (pending_inputs[t] == 0 && in_channels[t].empty()) return false;
+      if (pending_inputs[t] == 0 && !in_channels[t].empty()) {
+        // A source with internal inputs still needs them.
+      } else if (pending_inputs[t] == 0) {
+        return false;
+      }
+    }
+    for (std::size_t c : in_channels[t]) {
+      if (occupancy[c] == 0) return false;
+    }
+    if (!is_source && in_channels[t].empty()) return false;  // starved
+    for (std::size_t c : out_channels[t]) {
+      if (occupancy[c] >= graph.channels[c].capacity) return false;
+    }
+    return true;
+  };
+
+  auto fire = [&](std::size_t t) {
+    const bool is_source =
+        std::find(graph.sources.begin(), graph.sources.end(), t) !=
+        graph.sources.end();
+    if (is_source && pending_inputs[t] > 0) --pending_inputs[t];
+    for (std::size_t c : in_channels[t]) --occupancy[c];
+    in_flight.push({now + graph.tasks[t].latency, t});
+    next_start[t] = now + graph.tasks[t].initiation();
+    busy_cycles[t] += graph.tasks[t].latency;
+  };
+
+  while (sink_tokens_done < sink_tokens_needed) {
+    if (now > max_cycles) {
+      return Status::Error(ErrorCode::kTimingViolation,
+                           format("dataflow simulation exceeded %llu cycles",
+                                  static_cast<unsigned long long>(max_cycles)));
+    }
+    // Fire everything ready at `now`.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t t = 0; t < n; ++t) {
+        if (can_fire(t)) {
+          fire(t);
+          progress = true;
+        }
+      }
+    }
+    // Advance to the next completion.
+    if (in_flight.empty()) {
+      return Status::Error(ErrorCode::kInternal,
+                           "dataflow deadlock: no firings in flight");
+    }
+    const Firing firing = in_flight.top();
+    in_flight.pop();
+    now = std::max(now, firing.completes_at);
+    // Emit output tokens.
+    const std::size_t t = firing.task;
+    for (std::size_t c : out_channels[t]) ++occupancy[c];
+    if (std::find(graph.sinks.begin(), graph.sinks.end(), t) !=
+        graph.sinks.end()) {
+      ++sink_tokens_done;
+    }
+    // Drain all completions at the same instant.
+    while (!in_flight.empty() && in_flight.top().completes_at == now) {
+      const Firing other = in_flight.top();
+      in_flight.pop();
+      for (std::size_t c : out_channels[other.task]) ++occupancy[c];
+      if (std::find(graph.sinks.begin(), graph.sinks.end(), other.task) !=
+          graph.sinks.end()) {
+        ++sink_tokens_done;
+      }
+    }
+  }
+
+  stats.makespan = now;
+  stats.tokens_processed = input_tokens;
+  double utilization = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    utilization += now ? static_cast<double>(busy_cycles[t]) / now : 0.0;
+  }
+  stats.avg_utilization = n ? utilization / n : 0.0;
+  // Dynamically controlled: each task keeps its own FSM plus a 2-state
+  // handshake wrapper per channel endpoint.
+  for (const Task& task : graph.tasks) {
+    stats.controller_states += task.fsm_states;
+    stats.luts += task.luts + task.fsm_states / 2;  // one-hot-ish controller
+  }
+  stats.controller_states += 2 * graph.channels.size();
+  stats.luts += 16 * graph.channels.size();  // FIFO control + flags
+  return stats;
+}
+
+MonolithicStats estimate_monolithic(const TaskGraph& graph) {
+  MonolithicStats stats;
+  // Serialized: one centralized FSM runs each task region in sequence.
+  for (const Task& task : graph.tasks) {
+    stats.serialized_states += task.fsm_states;
+    stats.serialized_latency += task.latency;
+    stats.luts += task.luts;
+  }
+  // Centralized controller cost grows with the state count (next-state
+  // logic over a flat encoding).
+  stats.luts += stats.serialized_states * 2;
+
+  // Concurrent tracking: identify parallel branches (tasks with no path
+  // between them) — the controller must represent the cross product of the
+  // branch sub-FSMs. We approximate branches as the tasks grouped by their
+  // topological "lane": any two tasks not ordered by reachability multiply.
+  const std::size_t n = graph.tasks.size();
+  std::vector<std::set<std::size_t>> reach(n);
+  for (std::size_t t = 0; t < n; ++t) reach[t].insert(t);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Channel& channel : graph.channels) {
+      for (std::size_t r : reach[channel.to]) {
+        if (reach[channel.from].insert(r).second) changed = true;
+      }
+    }
+  }
+  auto ordered = [&](std::size_t a, std::size_t b) {
+    return reach[a].count(b) || reach[b].count(a);
+  };
+  // Greedy antichain cover: each antichain member multiplies the product.
+  std::vector<bool> used(n, false);
+  double product = 1.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (used[t]) continue;
+    double branch_states = graph.tasks[t].fsm_states;
+    used[t] = true;
+    for (std::size_t other = t + 1; other < n; ++other) {
+      if (!used[other] && !ordered(t, other)) {
+        // Concurrent with t: contributes multiplicatively.
+        product *= static_cast<double>(graph.tasks[other].fsm_states);
+        used[other] = true;
+      }
+    }
+    product *= branch_states;
+  }
+  stats.product_states = product;
+  return stats;
+}
+
+}  // namespace hermes::df

@@ -1,0 +1,94 @@
+// Coarse-grained task graphs for dynamically controlled accelerators.
+//
+// "The HERMES project use cases include applications based on artificial
+// intelligence, which might contain multiple parallel execution flows (i.e.,
+// coarse-grained parallelism); when synthesized through an HLS tool, the
+// complexity of the finite state machine controllers for such applications
+// grows exponentially ... Bambu has been extended to efficiently synthesize
+// dynamically controlled accelerators" (HERMES, Sec. II; ref [14]).
+//
+// A TaskGraph is a set of tasks connected by FIFO channels. Each task is an
+// accelerator kernel with a latency and initiation interval (taken from a
+// synthesized FlowResult, or given directly for modelling). Two controller
+// styles are compared:
+//   * dynamically controlled: each task has its own small FSM plus
+//     token handshakes — simulated by the discrete-event engine below;
+//   * monolithic/centralized FSM: one controller tracks every flow —
+//     estimated analytically (serialized states, or the product-state
+//     construction for true concurrency, which is the exponential blow-up).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hls/flow.hpp"
+
+namespace hermes::df {
+
+struct Task {
+  std::string name;
+  std::uint64_t latency = 1;   ///< cycles per firing
+  std::uint64_t ii = 0;        ///< initiation interval; 0 = not pipelined (=latency)
+  unsigned fsm_states = 1;     ///< controller states of the task alone
+  std::size_t luts = 0;        ///< datapath resource estimate
+  [[nodiscard]] std::uint64_t initiation() const { return ii ? ii : latency; }
+};
+
+/// Builds a Task profile from a synthesized kernel: latency measured by
+/// co-simulation would be input-dependent, so the FSM state count and
+/// netlist stats are used with the given measured latency.
+Task task_from_flow(const hls::FlowResult& flow, std::uint64_t measured_latency);
+
+struct Channel {
+  std::size_t from = 0, to = 0;
+  std::size_t capacity = 2;  ///< FIFO depth (tokens)
+};
+
+struct TaskGraph {
+  std::vector<Task> tasks;
+  std::vector<Channel> channels;
+  std::vector<std::size_t> sources;  ///< tasks fed by external input tokens
+  std::vector<std::size_t> sinks;    ///< tasks producing external outputs
+
+  std::size_t add_task(Task task) {
+    tasks.push_back(std::move(task));
+    return tasks.size() - 1;
+  }
+  void connect(std::size_t from, std::size_t to, std::size_t capacity = 2) {
+    channels.push_back({from, to, capacity});
+  }
+};
+
+/// Discrete-event simulation of the dynamically controlled accelerator:
+/// tasks fire when every input channel holds a token and every output
+/// channel has space; a firing consumes one token per input, occupies the
+/// task for `latency`, emits one token per output; a pipelined task can
+/// re-fire after its initiation interval.
+struct DataflowStats {
+  std::uint64_t makespan = 0;        ///< cycles to drain all tokens
+  std::uint64_t tokens_processed = 0;
+  double avg_utilization = 0.0;      ///< busy-cycle fraction across tasks
+  std::uint64_t controller_states = 0;  ///< sum of per-task FSMs + handshakes
+  std::size_t luts = 0;              ///< datapath + per-task controllers
+};
+
+Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
+                                        std::uint64_t input_tokens,
+                                        std::uint64_t max_cycles = 50'000'000);
+
+/// Analytic model of the same graph under a single centralized FSM.
+struct MonolithicStats {
+  std::uint64_t serialized_states = 0;  ///< one flow at a time: sum of states
+  std::uint64_t serialized_latency = 0; ///< per input token
+  double product_states = 0.0;          ///< concurrent tracking: state product
+                                        ///< across parallel branches (the
+                                        ///< exponential term), as double —
+                                        ///< it overflows integers quickly
+  std::size_t luts = 0;                 ///< datapath + centralized controller
+};
+
+MonolithicStats estimate_monolithic(const TaskGraph& graph);
+
+}  // namespace hermes::df

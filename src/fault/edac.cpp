@@ -1,0 +1,90 @@
+#include "fault/edac.hpp"
+
+#include <array>
+
+#include "common/bits.hpp"
+
+namespace hermes::fault {
+namespace {
+
+// Classic extended-Hamming layout: codeword positions are numbered 1..38;
+// positions that are powers of two (1,2,4,8,16,32) hold parity bits, the rest
+// hold data bits in order. Position 0 of the stored word holds the overall
+// parity bit. All bit gymnastics are precomputed into masks so the codec is
+// a handful of AND/popcount operations per word (the scrub benchmarks hash
+// megabytes through it).
+
+constexpr bool is_power_of_two(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+constexpr unsigned kPositions = 38;
+
+struct Tables {
+  std::array<unsigned, kEdacDataBits> data_position{};
+  std::array<std::uint64_t, 6> parity_mask{};  // coverage of parity bits 1,2,4,8,16,32
+  std::uint64_t all_positions = 0;             // positions 1..38
+};
+
+constexpr Tables make_tables() {
+  Tables t{};
+  unsigned index = 0;
+  for (unsigned pos = 1; pos <= kPositions; ++pos) {
+    t.all_positions |= 1ULL << pos;
+    if (!is_power_of_two(pos)) {
+      t.data_position[index++] = pos;
+    }
+  }
+  for (unsigned p = 0; p < 6; ++p) {
+    const unsigned bit = 1u << p;
+    for (unsigned pos = 1; pos <= kPositions; ++pos) {
+      if (pos & bit) t.parity_mask[p] |= 1ULL << pos;
+    }
+  }
+  return t;
+}
+
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint64_t edac_encode(std::uint32_t data) {
+  std::uint64_t word = 0;
+  for (unsigned i = 0; i < kEdacDataBits; ++i) {
+    word |= static_cast<std::uint64_t>((data >> i) & 1u) << kTables.data_position[i];
+  }
+  for (unsigned p = 0; p < 6; ++p) {
+    if (parity(word & kTables.parity_mask[p])) {
+      word |= 1ULL << (1u << p);
+    }
+  }
+  if (parity(word & kTables.all_positions)) {
+    word |= 1ULL;  // overall parity at position 0
+  }
+  return word;
+}
+
+EdacStatus edac_decode(std::uint64_t codeword, std::uint32_t& data_out) {
+  unsigned syndrome = 0;
+  for (unsigned p = 0; p < 6; ++p) {
+    if (parity(codeword & kTables.parity_mask[p])) syndrome |= 1u << p;
+  }
+  const bool overall = parity(codeword & (kTables.all_positions | 1ULL));
+
+  EdacStatus status = EdacStatus::kClean;
+  if (syndrome != 0 && overall) {
+    codeword ^= 1ULL << syndrome;  // correct the single-bit error
+    status = EdacStatus::kCorrected;
+  } else if (syndrome != 0 && !overall) {
+    return EdacStatus::kDoubleError;
+  } else if (syndrome == 0 && overall) {
+    status = EdacStatus::kCorrected;  // the overall parity bit itself flipped
+  }
+
+  std::uint32_t data = 0;
+  for (unsigned i = 0; i < kEdacDataBits; ++i) {
+    data |= static_cast<std::uint32_t>((codeword >> kTables.data_position[i]) & 1u)
+            << i;
+  }
+  data_out = data;
+  return status;
+}
+
+}  // namespace hermes::fault

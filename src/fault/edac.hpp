@@ -1,0 +1,31 @@
+// SECDED (single-error-correct, double-error-detect) Hamming code over 32-bit
+// data words — the "error correction mechanisms and memory integrity checks"
+// that NG-ULTRA applies transparently to embedded memories (HERMES, Sec. I).
+//
+// Layout: 32 data bits + 6 Hamming parity bits + 1 overall parity bit = 39-bit
+// codeword, stored in the low bits of a std::uint64_t.
+#pragma once
+
+#include <cstdint>
+
+namespace hermes::fault {
+
+inline constexpr unsigned kEdacDataBits = 32;
+inline constexpr unsigned kEdacParityBits = 7;  // 6 Hamming + overall parity
+inline constexpr unsigned kEdacCodewordBits = kEdacDataBits + kEdacParityBits;
+
+/// Outcome of decoding a (possibly corrupted) codeword.
+enum class EdacStatus {
+  kClean,          ///< no error detected
+  kCorrected,      ///< single-bit error corrected
+  kDoubleError,    ///< double error detected, not correctable
+};
+
+/// Encodes a 32-bit data word into a 39-bit SECDED codeword.
+std::uint64_t edac_encode(std::uint32_t data);
+
+/// Decodes a codeword; on kClean/kCorrected, `data_out` holds the recovered
+/// word; on kDoubleError its content is unspecified.
+EdacStatus edac_decode(std::uint64_t codeword, std::uint32_t& data_out);
+
+}  // namespace hermes::fault

@@ -1,0 +1,59 @@
+// A memory model with selectable protection scheme, used by the fault
+// campaign benchmarks (DESIGN.md experiment TMR) to compare unprotected,
+// EDAC-protected, and TMR-protected storage under SEU injection — the design
+// space NG-ULTRA's hardening occupies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/edac.hpp"
+#include "fault/seu.hpp"
+#include "fault/tmr.hpp"
+
+namespace hermes::fault {
+
+enum class Protection { kNone, kEdac, kTmr };
+
+const char* to_string(Protection protection);
+
+/// Outcome counters of one injection + scrub + readback round.
+struct ScrubReport {
+  std::size_t injected_upsets = 0;
+  std::size_t corrected = 0;        ///< errors masked/corrected by the scheme
+  std::size_t detected_uncorrectable = 0;  ///< flagged but not fixed (EDAC double)
+  std::size_t silent_corruptions = 0;      ///< readback differs from golden, unflagged
+};
+
+/// A word-addressable 32-bit memory with transparent protection: writes encode
+/// (or replicate), reads decode (or vote). inject_and_scrub() runs one
+/// radiation interval followed by a scrub pass, returning what the scheme saw.
+class ScrubMemory {
+ public:
+  ScrubMemory(std::size_t words, Protection protection);
+
+  void write(std::size_t index, std::uint32_t value);
+  /// Reads through the protection scheme (vote/decode), performing correction.
+  [[nodiscard]] std::uint32_t read(std::size_t index) const;
+
+  [[nodiscard]] std::size_t size() const { return golden_.size(); }
+  [[nodiscard]] Protection protection() const { return protection_; }
+
+  /// Applies one SEU interval to the raw storage and scrubs every word,
+  /// rewriting corrected values. Counters compare against the golden copy.
+  ScrubReport inject_and_scrub(const SeuCampaignConfig& config, Rng& rng);
+
+  /// Raw storage bit count (for per-bit upset-rate normalization).
+  [[nodiscard]] std::size_t raw_bits() const;
+
+ private:
+  Protection protection_;
+  std::vector<std::uint32_t> golden_;  ///< what software believes is stored
+  // Raw storage; layout depends on the scheme.
+  std::vector<std::uint64_t> raw_;      // kNone: 1 word; kEdac: 1 codeword
+  std::vector<std::uint64_t> raw_b_;    // kTmr replica B
+  std::vector<std::uint64_t> raw_c_;    // kTmr replica C
+};
+
+}  // namespace hermes::fault

@@ -1,0 +1,31 @@
+#include "fault/seu.hpp"
+
+namespace hermes::fault {
+
+std::vector<Upset> draw_upsets(const SeuCampaignConfig& config,
+                               std::size_t word_count, Rng& rng) {
+  std::vector<Upset> upsets;
+  for (std::size_t word = 0; word < word_count; ++word) {
+    if (!rng.next_bool(config.upset_probability_per_word)) continue;
+    const unsigned bit =
+        static_cast<unsigned>(rng.next_below(config.bits_per_word));
+    upsets.push_back({word, bit});
+    if (config.mbu_probability > 0 && rng.next_bool(config.mbu_probability)) {
+      const unsigned neighbor =
+          bit + 1 < config.bits_per_word ? bit + 1 : bit - 1;
+      upsets.push_back({word, neighbor});
+    }
+  }
+  return upsets;
+}
+
+void apply_upsets(std::span<std::uint64_t> words,
+                  const std::vector<Upset>& upsets) {
+  for (const Upset& upset : upsets) {
+    if (upset.word_index < words.size()) {
+      words[upset.word_index] ^= (1ULL << upset.bit_index);
+    }
+  }
+}
+
+}  // namespace hermes::fault

@@ -1,0 +1,45 @@
+// Single-event-upset (SEU) modelling.
+//
+// NG-ULTRA's rad-hard design provides "triple modular redundancy, error
+// correction mechanisms, and memory integrity checks which are completely
+// transparent to the application developer" (HERMES, Sec. I). We cannot fly
+// the silicon, so this module provides the radiation environment as a fault
+// injector that the protection schemes in tmr.hpp / edac.hpp are tested
+// against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hermes::fault {
+
+/// One injected upset: bit `bit_index` of word `word_index` flipped.
+struct Upset {
+  std::size_t word_index = 0;
+  unsigned bit_index = 0;
+};
+
+/// Configuration of an injection campaign over a memory of N words.
+struct SeuCampaignConfig {
+  double upset_probability_per_word = 1e-4;  ///< chance each word is hit per pass
+  unsigned bits_per_word = 32;
+  /// Probability that a hit is a multi-bit upset flipping an adjacent bit too
+  /// (MBUs defeat single-error-correcting codes; TMR still masks them).
+  double mbu_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Draws the set of upsets one scrub interval would accumulate over a memory
+/// of `word_count` words.
+std::vector<Upset> draw_upsets(const SeuCampaignConfig& config,
+                               std::size_t word_count, Rng& rng);
+
+/// Applies upsets in place to a word array (each word truncated to
+/// bits_per_word bits by construction of the draw).
+void apply_upsets(std::span<std::uint64_t> words,
+                  const std::vector<Upset>& upsets);
+
+}  // namespace hermes::fault

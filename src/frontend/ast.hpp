@@ -1,0 +1,235 @@
+// Abstract syntax tree for the HLS C subset.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/lexer.hpp"
+
+namespace hermes::fe {
+
+/// Scalar integer/bool type. Widths: bool=1; iN/uN for N in {8,16,32,64}.
+struct Type {
+  enum class Kind : std::uint8_t { kVoid, kBool, kInt };
+  Kind kind = Kind::kInt;
+  unsigned bits = 32;
+  bool is_signed = true;
+
+  static Type Void() { return {Kind::kVoid, 0, false}; }
+  static Type Bool() { return {Kind::kBool, 1, false}; }
+  static Type Int(unsigned bits, bool is_signed) {
+    return {Kind::kInt, bits, is_signed};
+  }
+  bool operator==(const Type&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses a type name: void, bool, int, unsigned, char, short, long,
+/// int8_t..int64_t, uint8_t..uint64_t. Returns false if `name` is not a type.
+bool parse_type_name(std::string_view name, Type& out);
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot, kBitNot };
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicalAnd, kLogicalOr,
+};
+
+const char* to_string(UnaryOp op);
+const char* to_string(BinaryOp op);
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kIntLit, kBoolLit, kVarRef, kArrayIndex, kUnary, kBinary,
+    kTernary, kCall, kCast, kAssign,
+  };
+  explicit Expr(Kind kind) : kind(kind) {}
+  virtual ~Expr() = default;
+
+  Kind kind;
+  SrcLoc loc;
+  Type type;  ///< filled in by the type checker
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  IntLitExpr() : Expr(Kind::kIntLit) {}
+  std::uint64_t value = 0;
+};
+
+struct BoolLitExpr : Expr {
+  BoolLitExpr() : Expr(Kind::kBoolLit) {}
+  bool value = false;
+};
+
+struct VarRefExpr : Expr {
+  VarRefExpr() : Expr(Kind::kVarRef) {}
+  std::string name;
+};
+
+struct ArrayIndexExpr : Expr {
+  ArrayIndexExpr() : Expr(Kind::kArrayIndex) {}
+  std::string array;
+  /// One expression per dimension (a[i][j] has two); the type checker
+  /// requires exactly as many as the array declares.
+  std::vector<ExprPtr> indices;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr() : Expr(Kind::kUnary) {}
+  UnaryOp op = UnaryOp::kNeg;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr() : Expr(Kind::kBinary) {}
+  BinaryOp op = BinaryOp::kAdd;
+  ExprPtr lhs, rhs;
+};
+
+struct TernaryExpr : Expr {
+  TernaryExpr() : Expr(Kind::kTernary) {}
+  ExprPtr condition, if_true, if_false;
+};
+
+struct CallExpr : Expr {
+  CallExpr() : Expr(Kind::kCall) {}
+  std::string callee;
+  std::vector<ExprPtr> args;  ///< scalar args; array args are VarRefs to arrays
+};
+
+struct CastExpr : Expr {
+  CastExpr() : Expr(Kind::kCast) {}
+  Type target;
+  ExprPtr operand;
+};
+
+/// Assignment used as an expression (value = stored value). Targets are
+/// variables or array elements.
+struct AssignExpr : Expr {
+  AssignExpr() : Expr(Kind::kAssign) {}
+  ExprPtr target;  ///< VarRefExpr or ArrayIndexExpr
+  ExprPtr value;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kExpr, kVarDecl, kBlock, kIf, kWhile, kDoWhile, kFor,
+    kReturn, kBreak, kContinue,
+  };
+  explicit Stmt(Kind kind) : kind(kind) {}
+  virtual ~Stmt() = default;
+
+  Kind kind;
+  SrcLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ExprStmt : Stmt {
+  ExprStmt() : Stmt(Kind::kExpr) {}
+  ExprPtr expr;
+};
+
+/// Declares a scalar (array_size == 0) or a fixed-size local array
+/// (possibly multi-dimensional; array_size is the flattened element count).
+struct VarDeclStmt : Stmt {
+  VarDeclStmt() : Stmt(Kind::kVarDecl) {}
+  Type type;
+  std::string name;
+  std::size_t array_size = 0;
+  std::vector<std::size_t> dims;     ///< per-dimension extents (empty = scalar)
+  ExprPtr init;                      ///< scalar initializer (optional)
+  std::vector<std::uint64_t> array_init;  ///< flattened initializer (optional)
+};
+
+struct BlockStmt : Stmt {
+  BlockStmt() : Stmt(Kind::kBlock) {}
+  std::vector<StmtPtr> body;
+};
+
+struct IfStmt : Stmt {
+  IfStmt() : Stmt(Kind::kIf) {}
+  ExprPtr condition;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  ///< may be null
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt() : Stmt(Kind::kWhile) {}
+  ExprPtr condition;
+  StmtPtr body;
+};
+
+struct DoWhileStmt : Stmt {
+  DoWhileStmt() : Stmt(Kind::kDoWhile) {}
+  StmtPtr body;
+  ExprPtr condition;
+};
+
+struct ForStmt : Stmt {
+  ForStmt() : Stmt(Kind::kFor) {}
+  StmtPtr init;       ///< VarDeclStmt or ExprStmt; may be null
+  ExprPtr condition;  ///< may be null (infinite)
+  ExprPtr update;     ///< may be null
+  StmtPtr body;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt() : Stmt(Kind::kReturn) {}
+  ExprPtr value;  ///< null for void return
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt() : Stmt(Kind::kBreak) {}
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt() : Stmt(Kind::kContinue) {}
+};
+
+// ---------------------------------------------------------------------------
+// Functions and programs
+// ---------------------------------------------------------------------------
+
+/// Function parameter: scalar, or array of fixed size (becomes an accelerator
+/// memory interface in the HLS flow).
+struct Param {
+  Type type;
+  std::string name;
+  std::size_t array_size = 0;  ///< flattened element count; 0 = scalar
+  std::vector<std::size_t> dims;  ///< per-dimension extents (empty = scalar)
+  bool is_const = false;       ///< const arrays are read-only (ROM candidates)
+};
+
+struct FuncDecl {
+  Type return_type;
+  std::string name;
+  std::vector<Param> params;
+  std::unique_ptr<BlockStmt> body;
+  SrcLoc loc;
+};
+
+struct Program {
+  std::vector<FuncDecl> functions;
+  [[nodiscard]] const FuncDecl* find(std::string_view name) const {
+    for (const FuncDecl& fn : functions) {
+      if (fn.name == name) return &fn;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace hermes::fe

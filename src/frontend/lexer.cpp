@@ -1,0 +1,272 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace hermes::fe {
+
+const char* to_string(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof: return "<eof>";
+    case TokKind::kIdentifier: return "identifier";
+    case TokKind::kIntLiteral: return "integer literal";
+    case TokKind::kKwVoid: return "void";
+    case TokKind::kKwBool: return "bool";
+    case TokKind::kKwIf: return "if";
+    case TokKind::kKwElse: return "else";
+    case TokKind::kKwFor: return "for";
+    case TokKind::kKwWhile: return "while";
+    case TokKind::kKwDo: return "do";
+    case TokKind::kKwReturn: return "return";
+    case TokKind::kKwBreak: return "break";
+    case TokKind::kKwContinue: return "continue";
+    case TokKind::kKwTrue: return "true";
+    case TokKind::kKwFalse: return "false";
+    case TokKind::kKwConst: return "const";
+    case TokKind::kLParen: return "(";
+    case TokKind::kRParen: return ")";
+    case TokKind::kLBrace: return "{";
+    case TokKind::kRBrace: return "}";
+    case TokKind::kLBracket: return "[";
+    case TokKind::kRBracket: return "]";
+    case TokKind::kComma: return ",";
+    case TokKind::kSemicolon: return ";";
+    case TokKind::kQuestion: return "?";
+    case TokKind::kColon: return ":";
+    case TokKind::kPlus: return "+";
+    case TokKind::kMinus: return "-";
+    case TokKind::kStar: return "*";
+    case TokKind::kSlash: return "/";
+    case TokKind::kPercent: return "%";
+    case TokKind::kAmp: return "&";
+    case TokKind::kPipe: return "|";
+    case TokKind::kCaret: return "^";
+    case TokKind::kTilde: return "~";
+    case TokKind::kBang: return "!";
+    case TokKind::kShl: return "<<";
+    case TokKind::kShr: return ">>";
+    case TokKind::kLt: return "<";
+    case TokKind::kGt: return ">";
+    case TokKind::kLe: return "<=";
+    case TokKind::kGe: return ">=";
+    case TokKind::kEqEq: return "==";
+    case TokKind::kNe: return "!=";
+    case TokKind::kAmpAmp: return "&&";
+    case TokKind::kPipePipe: return "||";
+    case TokKind::kAssign: return "=";
+    case TokKind::kPlusAssign: return "+=";
+    case TokKind::kMinusAssign: return "-=";
+    case TokKind::kStarAssign: return "*=";
+    case TokKind::kPlusPlus: return "++";
+    case TokKind::kMinusMinus: return "--";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokKind> table = {
+      {"void", TokKind::kKwVoid},     {"bool", TokKind::kKwBool},
+      {"if", TokKind::kKwIf},         {"else", TokKind::kKwElse},
+      {"for", TokKind::kKwFor},       {"while", TokKind::kKwWhile},
+      {"do", TokKind::kKwDo},         {"return", TokKind::kKwReturn},
+      {"break", TokKind::kKwBreak},   {"continue", TokKind::kKwContinue},
+      {"true", TokKind::kKwTrue},     {"false", TokKind::kKwFalse},
+      {"const", TokKind::kKwConst},
+  };
+  return table;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_whitespace_and_comments();
+      if (!error_.ok()) return error_;
+      if (at_end()) {
+        tokens.push_back({TokKind::kEof, "", 0, loc_});
+        return tokens;
+      }
+      Token token;
+      token.loc = loc_;
+      const char c = peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        lex_identifier(token);
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        lex_number(token);
+        if (!error_.ok()) return error_;
+      } else {
+        lex_punct(token);
+        if (!error_.ok()) return error_;
+      }
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.column = 1;
+    } else {
+      ++loc_.column;
+    }
+    return c;
+  }
+  bool match(char expected) {
+    if (at_end() || peek() != expected) return false;
+    advance();
+    return true;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (at_end()) {
+          error_ = Status::Error(ErrorCode::kParseError,
+                                 format("line %u: unterminated block comment", loc_.line));
+          return;
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void lex_identifier(Token& token) {
+    std::string text;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+      text.push_back(advance());
+    }
+    const auto& keywords = keyword_table();
+    const auto it = keywords.find(text);
+    token.kind = it != keywords.end() ? it->second : TokKind::kIdentifier;
+    token.text = std::move(text);
+  }
+
+  void lex_number(Token& token) {
+    token.kind = TokKind::kIntLiteral;
+    std::uint64_t value = 0;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance();
+      advance();
+      bool any = false;
+      while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) {
+        const char c = advance();
+        const unsigned digit = std::isdigit(static_cast<unsigned char>(c))
+                                   ? static_cast<unsigned>(c - '0')
+                                   : static_cast<unsigned>(std::tolower(c) - 'a' + 10);
+        value = value * 16 + digit;
+        any = true;
+      }
+      if (!any) {
+        error_ = Status::Error(ErrorCode::kParseError,
+                               format("line %u: malformed hex literal", token.loc.line));
+        return;
+      }
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        value = value * 10 + static_cast<unsigned>(advance() - '0');
+      }
+    }
+    // Optional integer suffixes (u, l, ul, ll, ull) are accepted and ignored.
+    while (!at_end() && (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')) {
+      advance();
+    }
+    token.int_value = value;
+    token.text = std::to_string(value);
+  }
+
+  void lex_punct(Token& token) {
+    const char c = advance();
+    switch (c) {
+      case '(': token.kind = TokKind::kLParen; return;
+      case ')': token.kind = TokKind::kRParen; return;
+      case '{': token.kind = TokKind::kLBrace; return;
+      case '}': token.kind = TokKind::kRBrace; return;
+      case '[': token.kind = TokKind::kLBracket; return;
+      case ']': token.kind = TokKind::kRBracket; return;
+      case ',': token.kind = TokKind::kComma; return;
+      case ';': token.kind = TokKind::kSemicolon; return;
+      case '?': token.kind = TokKind::kQuestion; return;
+      case ':': token.kind = TokKind::kColon; return;
+      case '+':
+        token.kind = match('=') ? TokKind::kPlusAssign
+                    : match('+') ? TokKind::kPlusPlus
+                                 : TokKind::kPlus;
+        return;
+      case '-':
+        token.kind = match('=') ? TokKind::kMinusAssign
+                    : match('-') ? TokKind::kMinusMinus
+                                 : TokKind::kMinus;
+        return;
+      case '*':
+        token.kind = match('=') ? TokKind::kStarAssign : TokKind::kStar;
+        return;
+      case '/': token.kind = TokKind::kSlash; return;
+      case '%': token.kind = TokKind::kPercent; return;
+      case '^': token.kind = TokKind::kCaret; return;
+      case '~': token.kind = TokKind::kTilde; return;
+      case '&':
+        token.kind = match('&') ? TokKind::kAmpAmp : TokKind::kAmp;
+        return;
+      case '|':
+        token.kind = match('|') ? TokKind::kPipePipe : TokKind::kPipe;
+        return;
+      case '!':
+        token.kind = match('=') ? TokKind::kNe : TokKind::kBang;
+        return;
+      case '=':
+        token.kind = match('=') ? TokKind::kEqEq : TokKind::kAssign;
+        return;
+      case '<':
+        token.kind = match('<') ? TokKind::kShl
+                    : match('=') ? TokKind::kLe
+                                 : TokKind::kLt;
+        return;
+      case '>':
+        token.kind = match('>') ? TokKind::kShr
+                    : match('=') ? TokKind::kGe
+                                 : TokKind::kGt;
+        return;
+      default:
+        error_ = Status::Error(
+            ErrorCode::kParseError,
+            format("line %u: unexpected character '%c'", token.loc.line, c));
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  SrcLoc loc_;
+  Status error_;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace hermes::fe

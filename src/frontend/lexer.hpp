@@ -1,0 +1,54 @@
+// Lexer for the C subset accepted by the HLS frontend.
+//
+// Bambu consumes "a program written in a well-known software language such as
+// C/C++"; our reproduction accepts a C subset rich enough for the HERMES use
+// cases (fixed-size arrays, integer arithmetic of explicit widths, loops,
+// function calls).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hermes::fe {
+
+/// 1-based source position for diagnostics.
+struct SrcLoc {
+  unsigned line = 1;
+  unsigned column = 1;
+};
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  // Keywords.
+  kKwVoid, kKwBool, kKwIf, kKwElse, kKwFor, kKwWhile, kKwDo,
+  kKwReturn, kKwBreak, kKwContinue, kKwTrue, kKwFalse, kKwConst,
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon, kQuestion, kColon,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,
+  kLt, kGt, kLe, kGe, kEqEq, kNe,
+  kAmpAmp, kPipePipe,
+  kAssign, kPlusAssign, kMinusAssign, kStarAssign,
+  kPlusPlus, kMinusMinus,
+};
+
+const char* to_string(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;          ///< identifier spelling or literal text
+  std::uint64_t int_value = 0;  ///< for kIntLiteral
+  SrcLoc loc;
+};
+
+/// Tokenizes `source`; on success the stream ends with a kEof token.
+Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace hermes::fe

@@ -1,0 +1,20 @@
+// Recursive-descent parser for the HLS C subset.
+//
+// Notes on the accepted subset (see docs/LANGUAGE.md for the full reference):
+//  * pointers are not supported; arrays are passed by reference with an
+//    explicit size (they become accelerator memory interfaces);
+//  * ++/-- are desugared to `x = x +/- 1` and return the *new* value, so they
+//    should be used in statement or for-update position only;
+//  * all functions called from the top-level kernel must be defined in the
+//    same translation unit (they are inlined during IR lowering).
+#pragma once
+
+#include "common/status.hpp"
+#include "frontend/ast.hpp"
+
+namespace hermes::fe {
+
+/// Parses a full translation unit.
+Result<Program> parse(std::string_view source);
+
+}  // namespace hermes::fe

@@ -1,0 +1,22 @@
+// Semantic analysis for the HLS C subset.
+//
+// Annotates every expression with its type, enforces the subset's rules
+// (declared-before-use, constant array sizes, no recursion — functions are
+// inlined by the IR lowering), and applies C's usual arithmetic conversions.
+#pragma once
+
+#include "common/status.hpp"
+#include "frontend/ast.hpp"
+
+namespace hermes::fe {
+
+/// Type-checks the whole program in place. On success every Expr::type is
+/// valid and the call graph is known to be acyclic.
+Status typecheck(Program& program);
+
+/// C usual-arithmetic-conversion result for two scalar operand types
+/// (both promoted to at least 32 bits; wider operand wins; on equal width
+/// unsigned wins).
+Type arithmetic_result(const Type& a, const Type& b);
+
+}  // namespace hermes::fe

@@ -1,0 +1,65 @@
+// Eucalyptus — the component pre-characterization tool.
+//
+// "Bambu integrates a characterization tool called Eucalyptus to synthesize
+// different configurations of library components and collect the resulting
+// latency and resource consumption metrics as XML files in the Bambu
+// library. The configurations are obtained by specializing a generic template
+// of the resource component (e.g., a multiplier or an adder) according to the
+// bit widths of its input and output arguments, and to the number of pipeline
+// stages." (HERMES, Sec. II)
+//
+// This module runs that sweep against the FpgaTarget delay/area model (our
+// substitute for NXmap synthesis runs) and renders the Bambu-library XML.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/techlib.hpp"
+
+namespace hermes::hls {
+
+/// One characterized configuration of a component template.
+struct CharacterizationPoint {
+  ir::Op op = ir::Op::kAdd;
+  unsigned width = 32;
+  unsigned pipeline_stages = 0;  ///< registered intermediate cuts
+  double clock_period_ns = 10.0;
+  double delay_ns = 0.0;         ///< per-stage combinational delay
+  unsigned latency = 1;          ///< cycles from operands to result
+  bool meets_timing = false;
+  OpCost cost;
+  double fmax_mhz = 0.0;         ///< 1 / (delay + setup + skew)
+};
+
+struct SweepConfig {
+  std::vector<ir::Op> ops = {ir::Op::kAdd, ir::Op::kMul, ir::Op::kDiv,
+                             ir::Op::kShl, ir::Op::kLt, ir::Op::kAnd};
+  std::vector<unsigned> widths = {8, 16, 32, 64};
+  std::vector<unsigned> pipeline_stages = {0, 1, 2, 3, 4};
+  std::vector<double> clock_periods_ns = {2.0, 4.0, 8.0, 12.0, 20.0};
+};
+
+/// Characterizes one configuration. Pipelining cuts the combinational path
+/// into (stages+1) balanced segments and adds stage registers to the cost;
+/// the configuration meets timing if the longest segment fits the period.
+CharacterizationPoint characterize_point(const TechLibrary& lib, ir::Op op,
+                                         unsigned width, unsigned stages,
+                                         double period_ns);
+
+/// Full sweep over the config space.
+std::vector<CharacterizationPoint> run_sweep(const TechLibrary& lib,
+                                             const SweepConfig& config);
+
+/// Renders points in the Bambu-library XML layout.
+std::string to_xml(const FpgaTarget& target,
+                   const std::vector<CharacterizationPoint>& points);
+
+/// Parses a Bambu-library XML document back into characterization points
+/// (the read side of the library: "collect the resulting latency and
+/// resource consumption metrics as XML files in the Bambu library").
+/// `device_name` (optional out) receives the document's device attribute.
+Result<std::vector<CharacterizationPoint>> from_xml(
+    std::string_view document, std::string* device_name = nullptr);
+
+}  // namespace hermes::hls

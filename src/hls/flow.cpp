@@ -1,0 +1,81 @@
+#include "hls/flow.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/typecheck.hpp"
+#include "hw/verilog.hpp"
+
+namespace hermes::hls {
+
+Result<FlowResult> run_flow(std::string_view source, const FlowOptions& options) {
+  // ---- front-end ----
+  auto program = fe::parse(source);
+  if (!program.ok()) return program.status();
+  Status typed = fe::typecheck(program.value());
+  if (!typed.ok()) return typed;
+
+  // ---- middle-end ----
+  ir::LowerOptions lower_options;
+  lower_options.unroll_limit = options.unroll_limit;
+  auto lowered = ir::lower(program.value(), options.top, lower_options);
+  if (!lowered.ok()) return lowered.status();
+
+  FlowResult result;
+  result.function = lowered.take();
+  result.ir_instrs_before = result.function.instr_count();
+  if (options.run_middle_end) {
+    result.passes = ir::run_pipeline(result.function);
+  } else {
+    ir::mark_roms(result.function);
+  }
+  result.ir_instrs_after = result.function.instr_count();
+  result.cdfg = ir::summarize_cdfg(result.function);
+
+  // ---- back-end: allocation + scheduling + binding + FSMD ----
+  const TechLibrary lib(options.target);
+  auto scheduled = schedule(result.function, lib, options.constraints);
+  if (!scheduled.ok()) return scheduled.status();
+  result.schedule = scheduled.take();
+
+  result.binding = bind(result.function, result.schedule);
+
+  auto fsmd = generate_fsmd(result.function, result.schedule, result.binding);
+  if (!fsmd.ok()) return fsmd.status();
+  result.fsmd = fsmd.take();
+  result.fsm_states = result.fsmd.num_states;
+  result.verilog = hw::emit_verilog(result.fsmd.module);
+  return result;
+}
+
+std::string flow_report(const FlowResult& result) {
+  std::ostringstream out;
+  out << "=== HLS flow report: " << result.function.name() << " ===\n";
+  out << format("front-end : %zu IR instructions after lowering\n",
+                result.ir_instrs_before);
+  out << "middle-end:";
+  std::size_t total_changed = 0;
+  for (const ir::PassReport& report : result.passes) total_changed += report.changed;
+  out << format(" %zu rewrites across %zu pass runs -> %zu instructions\n",
+                total_changed, result.passes.size(), result.ir_instrs_after);
+  out << format("CDFG      : %zu blocks, %zu nodes, %zu data edges, %zu control edges\n",
+                result.cdfg.blocks, result.cdfg.nodes, result.cdfg.data_edges,
+                result.cdfg.control_edges);
+  out << format("schedule  : %u datapath states (clock %.1f ns)\n",
+                result.schedule.num_states,
+                result.schedule.constraints.clock_period_ns);
+  const BindingStats& bs = result.binding.stats;
+  out << format("binding   : %u mul FUs, %u div FUs, %u RAM ports, %u registers "
+                "(%u merged), %u ops shared\n",
+                bs.multiplier_instances, bs.divider_instances, bs.memory_ports,
+                bs.datapath_registers, bs.merged_registers, bs.shared_ops);
+  const hw::NetlistStats ns = result.fsmd.module.stats();
+  out << format("netlist   : %zu cells (%zu regs / %zu arith / %zu mux), %zu memories (%zu bits)\n",
+                ns.cells, ns.registers, ns.arithmetic, ns.muxes, ns.memories,
+                ns.memory_bits);
+  out << format("FSM       : %u states (incl. IDLE/DONE)\n", result.fsm_states);
+  return out.str();
+}
+
+}  // namespace hermes::hls

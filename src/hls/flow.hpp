@@ -1,0 +1,58 @@
+// End-to-end HLS flow (paper Fig. 2): C source -> front-end (parse, type
+// check) -> middle-end (lowering, CDFG, optimization passes) -> back-end
+// (allocation, scheduling, binding, FSMD netlist + Verilog).
+//
+// This is the top-level public API of the Bambu-style tool: one call takes a
+// C kernel and produces a synthesizable accelerator plus a per-stage report.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "hls/bind.hpp"
+#include "hls/fsmd.hpp"
+#include "hls/schedule.hpp"
+#include "hls/techlib.hpp"
+#include "ir/cdfg.hpp"
+#include "ir/ir.hpp"
+#include "ir/lower.hpp"
+#include "ir/passes.hpp"
+
+namespace hermes::hls {
+
+struct FlowOptions {
+  std::string top;               ///< kernel function name
+  Constraints constraints;       ///< clock + resource constraints
+  unsigned unroll_limit = 0;     ///< full-unroll bound for counted loops
+  bool run_middle_end = true;    ///< ablation: disable optimization passes
+  FpgaTarget target;             ///< defaults to NG-ULTRA
+
+  FlowOptions() : target(ng_ultra()) {}
+};
+
+/// Everything the flow produced, stage by stage.
+struct FlowResult {
+  ir::Function function;                 ///< optimized IR
+  ir::CdfgSummary cdfg;
+  std::vector<ir::PassReport> passes;
+  Schedule schedule;
+  Binding binding;
+  FsmdResult fsmd;
+  std::string verilog;
+
+  // Headline metrics.
+  std::size_t ir_instrs_before = 0;
+  std::size_t ir_instrs_after = 0;
+  unsigned fsm_states = 0;
+
+  FlowResult() : function("<empty>") {}
+};
+
+/// Runs the complete flow on `source`. All stages validate their output;
+/// the first failure is returned.
+Result<FlowResult> run_flow(std::string_view source, const FlowOptions& options);
+
+/// Renders a human-readable flow report (used by examples and FIG2).
+std::string flow_report(const FlowResult& result);
+
+}  // namespace hermes::hls

@@ -1,0 +1,55 @@
+#include "hls/target.hpp"
+
+namespace hermes::hls {
+
+FpgaTarget ng_ultra() {
+  FpgaTarget t;
+  t.name = "NG-ULTRA";
+  t.lut_delay_ns = 0.30;
+  t.routing_delay_ns = 0.25;
+  t.carry_per_bit_ns = 0.020;
+  t.carry_base_ns = 0.20;
+  t.dsp_delay_ns = 2.2;
+  t.bram_access_ns = 1.8;
+  t.ff_setup_ns = 0.15;
+  t.clock_skew_ns = 0.10;
+  t.lut_inputs = 4;
+  t.dsp_mul_width = 24;
+  t.luts = 550'000;   // paper: "logic capacity of 550k LUTs"
+  t.dsps = 1'152;
+  t.brams = 2'016;
+  t.bram_kbits = 48;
+  t.static_power_mw = 150.0;
+  t.lut_dyn_uw_per_mhz = 0.020;
+  t.dsp_dyn_uw_per_mhz = 0.600;
+  t.bram_dyn_uw_per_mhz = 0.450;
+  t.ff_dyn_uw_per_mhz = 0.004;
+  return t;
+}
+
+FpgaTarget legacy_radhard() {
+  // Derived: one process generation earlier. Delays doubled (paper claims
+  // NG-ULTRA runs "twice as fast"), dynamic power quadrupled ("power
+  // consumption four times smaller"), much smaller fabric.
+  FpgaTarget t = ng_ultra();
+  t.name = "legacy-radhard-65nm";
+  t.lut_delay_ns *= 2.0;
+  t.routing_delay_ns *= 2.0;
+  t.carry_per_bit_ns *= 2.0;
+  t.carry_base_ns *= 2.0;
+  t.dsp_delay_ns *= 2.0;
+  t.bram_access_ns *= 2.0;
+  t.ff_setup_ns *= 2.0;
+  t.clock_skew_ns *= 2.0;
+  t.luts = 140'000;
+  t.dsps = 288;
+  t.brams = 512;
+  t.static_power_mw = 300.0;
+  t.lut_dyn_uw_per_mhz *= 4.0;
+  t.dsp_dyn_uw_per_mhz *= 4.0;
+  t.bram_dyn_uw_per_mhz *= 4.0;
+  t.ff_dyn_uw_per_mhz *= 4.0;
+  return t;
+}
+
+}  // namespace hermes::hls

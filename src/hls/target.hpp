@@ -1,0 +1,55 @@
+// FPGA target models.
+//
+// NG-ULTRA is "the world's first rad-hard SoC FPGA in 28nm", with "550k LUTs
+// running twice as fast as current rad-hard FPGAs with a power consumption
+// four times smaller" (HERMES, Sec. I). We cannot measure silicon, so the
+// targets are parametric area/delay/power models calibrated to those headline
+// ratios: the legacy rad-hard target is derived from NG-ULTRA by halving
+// speed and quadrupling dynamic power. All HLS pre-characterization
+// (Eucalyptus), technology mapping, STA and the power model read these
+// numbers, so the CLAIM-SPEED benchmark measures the ratio end-to-end rather
+// than asserting it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hermes::hls {
+
+struct FpgaTarget {
+  std::string name;
+
+  // --- timing model (ns) ---
+  double lut_delay_ns = 0.30;       ///< one LUT4 level, including local routing
+  double routing_delay_ns = 0.25;   ///< average inter-cluster hop
+  double carry_per_bit_ns = 0.02;   ///< fast-carry chain, per bit
+  double carry_base_ns = 0.20;      ///< carry-chain entry/exit
+  double dsp_delay_ns = 2.2;        ///< one DSP multiply (registered inputs)
+  double bram_access_ns = 1.8;      ///< synchronous block-RAM read clock-to-out
+  double ff_setup_ns = 0.15;
+  double clock_skew_ns = 0.10;
+
+  // --- resource model ---
+  unsigned lut_inputs = 4;          ///< NG-ULTRA fabric uses 4-input LUTs
+  unsigned dsp_mul_width = 24;      ///< max operand width of one DSP multiplier
+  std::size_t luts = 0;
+  std::size_t dsps = 0;
+  std::size_t brams = 0;            ///< True Dual-Port RAM blocks
+  std::size_t bram_kbits = 48;      ///< capacity of one block
+
+  // --- power model (mW) ---
+  double static_power_mw = 150.0;
+  double lut_dyn_uw_per_mhz = 0.020;   ///< per active LUT per MHz
+  double dsp_dyn_uw_per_mhz = 0.600;
+  double bram_dyn_uw_per_mhz = 0.450;
+  double ff_dyn_uw_per_mhz = 0.004;
+};
+
+/// The HERMES target: NG-ULTRA (28nm FD-SOI, quad ARM R52, 550k LUTs).
+FpgaTarget ng_ultra();
+
+/// A previous-generation rad-hard FPGA (65nm class): the comparison point for
+/// the paper's 2x-speed / 4x-power claim.
+FpgaTarget legacy_radhard();
+
+}  // namespace hermes::hls

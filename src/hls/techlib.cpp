@@ -1,0 +1,179 @@
+#include "hls/techlib.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+
+namespace hermes::hls {
+
+FuClass fu_class_of(ir::Op op) {
+  switch (op) {
+    case ir::Op::kMul: return FuClass::kMultiplier;
+    case ir::Op::kDiv: case ir::Op::kRem: return FuClass::kDivider;
+    case ir::Op::kLoad: case ir::Op::kStore: return FuClass::kMemoryPort;
+    default: return FuClass::kNone;
+  }
+}
+
+double TechLibrary::delay_ns(ir::Op op, unsigned width) const {
+  const FpgaTarget& t = target_;
+  const double lut = t.lut_delay_ns + t.routing_delay_ns;
+  const auto log2w = [&] {
+    return static_cast<double>(bit_width_of(width > 1 ? width - 1 : 1));
+  };
+  switch (op) {
+    case ir::Op::kConst:
+    case ir::Op::kCopy:
+    case ir::Op::kZext:
+    case ir::Op::kSext:
+    case ir::Op::kTrunc:
+      return 0.0;  // wiring only
+    case ir::Op::kAdd:
+    case ir::Op::kSub:
+      return t.carry_base_ns + width * t.carry_per_bit_ns + t.routing_delay_ns;
+    case ir::Op::kMul: {
+      if (width <= t.dsp_mul_width) return t.dsp_delay_ns + t.routing_delay_ns;
+      // Composed multiplier: partial products through DSPs + adder tree.
+      const unsigned tiles = static_cast<unsigned>(
+          ceil_div(width, t.dsp_mul_width));
+      return t.dsp_delay_ns + tiles * (t.carry_base_ns + width * t.carry_per_bit_ns) +
+             t.routing_delay_ns;
+    }
+    case ir::Op::kDiv:
+    case ir::Op::kRem:
+      // Iterative restoring divider: one subtract per cycle; per-cycle delay.
+      return t.carry_base_ns + width * t.carry_per_bit_ns + 2 * lut;
+    case ir::Op::kAnd: case ir::Op::kOr: case ir::Op::kXor: case ir::Op::kNot:
+      return lut;
+    case ir::Op::kShl: case ir::Op::kShr:
+      return log2w() * lut;  // barrel shifter: log2(width) mux levels
+    case ir::Op::kEq: case ir::Op::kNe:
+      // AND-reduce tree of per-bit compares.
+      return (1.0 + std::ceil(log2w() / 2.0)) * lut;
+    case ir::Op::kLt: case ir::Op::kLe:
+      return t.carry_base_ns + width * t.carry_per_bit_ns + t.routing_delay_ns;
+    case ir::Op::kSelect:
+      return lut;
+    case ir::Op::kLoad:
+    case ir::Op::kStore:
+      return t.bram_access_ns;
+    default:
+      return lut;
+  }
+}
+
+OpCost TechLibrary::cost(ir::Op op, unsigned width) const {
+  OpCost c;
+  switch (op) {
+    case ir::Op::kConst: case ir::Op::kCopy: case ir::Op::kZext:
+    case ir::Op::kSext: case ir::Op::kTrunc:
+      break;  // wiring
+    case ir::Op::kAdd: case ir::Op::kSub:
+      c.carry_bits = width;
+      c.luts = width;
+      break;
+    case ir::Op::kMul: {
+      const unsigned tiles = static_cast<unsigned>(
+          ceil_div(width, target_.dsp_mul_width));
+      c.dsps = tiles * tiles;
+      if (tiles > 1) c.luts = 2u * width;  // partial-product adder tree
+      break;
+    }
+    case ir::Op::kDiv: case ir::Op::kRem:
+      // Iterative divider datapath: subtractor + shift registers + control.
+      c.luts = 4u * width;
+      c.carry_bits = width;
+      c.ffs = 3u * width;
+      break;
+    case ir::Op::kAnd: case ir::Op::kOr: case ir::Op::kXor:
+      c.luts = ceil_div(width, 2);  // two bits per LUT4 (a op b, c op d)
+      break;
+    case ir::Op::kNot:
+      break;  // absorbed into downstream LUTs
+    case ir::Op::kShl: case ir::Op::kShr: {
+      const unsigned levels = bit_width_of(width > 1 ? width - 1 : 1);
+      c.luts = static_cast<std::size_t>(levels) * ceil_div(width, 2);
+      break;
+    }
+    case ir::Op::kEq: case ir::Op::kNe:
+      c.luts = ceil_div(width, 2) + ceil_div(width, 8);
+      break;
+    case ir::Op::kLt: case ir::Op::kLe:
+      c.carry_bits = width;
+      c.luts = width;
+      break;
+    case ir::Op::kSelect:
+      c.luts = ceil_div(width, 2);
+      break;
+    default:
+      break;
+  }
+  return c;
+}
+
+OpCharacterization TechLibrary::characterize(ir::Op op, unsigned width,
+                                             double period_ns) const {
+  OpCharacterization ch;
+  ch.cost = cost(op, width);
+  const double usable = usable_period(period_ns);
+
+  switch (op) {
+    case ir::Op::kLoad:
+      // Synchronous block-RAM read: address this state, data next state.
+      ch.delay_ns = 0.0;  // register output, chains with zero entry delay
+      ch.latency = 1;
+      ch.chain_in = true;   // the address may be a chained value
+      ch.chain_out = true;  // consumers in state start+1 read the port output
+      return ch;
+    case ir::Op::kStore:
+      ch.delay_ns = 0.0;
+      ch.latency = 1;
+      ch.chain_in = true;
+      ch.chain_out = false;  // no result
+      return ch;
+    case ir::Op::kDiv:
+    case ir::Op::kRem: {
+      // Iterative divider: one quotient bit per cycle plus setup.
+      ch.delay_ns = 0.0;
+      ch.latency = std::max(2u, width + 1);
+      ch.chain_in = false;
+      ch.chain_out = false;
+      return ch;
+    }
+    case ir::Op::kMul: {
+      // Multipliers are shared FU instances with registered operand and
+      // result boundaries (NG-ULTRA DSP blocks register their I/O); the
+      // state-selected operand network costs two extra LUT levels.
+      const double lut = target_.lut_delay_ns + target_.routing_delay_ns;
+      const double d = delay_ns(op, width) + 2.0 * lut;
+      ch.delay_ns = d;
+      const double usable = usable_period(period_ns);
+      ch.latency = d <= usable
+                       ? 1u
+                       : static_cast<unsigned>(std::ceil(d / usable));
+      ch.chain_in = false;
+      ch.chain_out = false;
+      return ch;
+    }
+    default:
+      break;
+  }
+
+  const double d = delay_ns(op, width);
+  ch.delay_ns = d;
+  if (d <= usable) {
+    ch.latency = 1;
+    ch.chain_in = true;
+    ch.chain_out = true;
+  } else {
+    // Multi-cycle combinational operator: give the path ceil(d/usable)
+    // cycles and forbid chaining across its boundaries.
+    ch.latency = static_cast<unsigned>(std::ceil(d / usable));
+    ch.chain_in = false;
+    ch.chain_out = false;
+  }
+  return ch;
+}
+
+}  // namespace hermes::hls

@@ -1,0 +1,74 @@
+// Technology library: per-operator delay/area characterization.
+//
+// "All library components used during the HLS flow need to be annotated with
+// information such as resource occupation and latency under different clock
+// period constraints" (HERMES, Sec. II). The TechLibrary answers, for each IR
+// operator at each bit width under a given clock period: how many cycles it
+// takes, whether its result can be chained, and what it costs on the fabric
+// (LUTs / DSPs / carry bits). The numbers come from the FpgaTarget model —
+// the role played on real silicon by Eucalyptus synthesis runs (see
+// eucalyptus.hpp, which sweeps and exports exactly these annotations).
+#pragma once
+
+#include "hls/target.hpp"
+#include "ir/ir.hpp"
+
+namespace hermes::hls {
+
+/// Resource cost of one operator instance.
+struct OpCost {
+  std::size_t luts = 0;
+  std::size_t carry_bits = 0;
+  std::size_t dsps = 0;
+  std::size_t ffs = 0;
+};
+
+/// Full characterization of one operator under a clock-period constraint.
+struct OpCharacterization {
+  double delay_ns = 0.0;    ///< combinational settle time (0 for register-out ops)
+  unsigned latency = 1;     ///< states occupied (>=1); ceil(delay/period) for comb
+  bool chain_in = true;     ///< may consume a same-state combinational value
+  bool chain_out = true;    ///< may feed a same-state consumer
+  OpCost cost;
+};
+
+/// Shared FU classes (the resource-constrained operator groups).
+enum class FuClass { kNone, kMultiplier, kDivider, kMemoryPort };
+
+FuClass fu_class_of(ir::Op op);
+
+class TechLibrary {
+ public:
+  explicit TechLibrary(FpgaTarget target) : target_(std::move(target)) {}
+
+  [[nodiscard]] const FpgaTarget& target() const { return target_; }
+
+  /// Characterizes `op` at `width` bits under `period_ns`.
+  /// Loads/stores use the block-RAM timing; dividers are iterative
+  /// (latency ~ width); wide multipliers compose multiple DSPs.
+  [[nodiscard]] OpCharacterization characterize(ir::Op op, unsigned width,
+                                                double period_ns) const;
+
+  /// Raw combinational delay of `op` at `width` bits (no clock constraint).
+  [[nodiscard]] double delay_ns(ir::Op op, unsigned width) const;
+
+  /// Resource cost of one instance of `op` at `width` bits.
+  [[nodiscard]] OpCost cost(ir::Op op, unsigned width) const;
+
+  /// Usable cycle time after setup, skew, and a routing margin (Eucalyptus
+  /// characterizes cells standalone; post-route nets add delay the scheduler
+  /// must budget for — the classic pre-char vs post-route timing gap).
+  [[nodiscard]] double usable_period(double period_ns) const {
+    const double usable =
+        (period_ns - target_.ff_setup_ns - target_.clock_skew_ns) *
+        kRoutingMargin;
+    return usable > 0.1 ? usable : 0.1;
+  }
+
+  static constexpr double kRoutingMargin = 0.85;
+
+ private:
+  FpgaTarget target_;
+};
+
+}  // namespace hermes::hls

@@ -1,0 +1,37 @@
+// Testbench harness: co-simulation of the generated accelerator against the
+// IR interpreter golden model.
+//
+// "Bambu supports the creation of a testbench ... so that data exchange can
+// be simulated to verify its correctness" (HERMES, Sec. II). This harness is
+// that testbench: it drives the start/done handshake on the cycle-accurate
+// netlist simulator, loads interface memories before the run, compares the
+// return value and final memory contents with the interpreter, and reports
+// the accelerator's cycle count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hls/flow.hpp"
+#include "ir/interp.hpp"
+
+namespace hermes::hls {
+
+struct CosimResult {
+  bool match = true;                  ///< hardware == golden on all outputs
+  std::uint64_t hw_cycles = 0;        ///< accelerator latency (start -> done)
+  std::uint64_t sw_instructions = 0;  ///< golden-model dynamic op count
+  std::uint64_t return_value = 0;
+  std::string mismatch;               ///< description of the first mismatch
+};
+
+/// One co-simulation: `scalar_args` in parameter order (arrays skipped),
+/// `memory_images` keyed by IR memory index for interface memories.
+Result<CosimResult> cosimulate(
+    const FlowResult& flow, const std::vector<std::uint64_t>& scalar_args,
+    const std::map<std::size_t, std::vector<std::uint64_t>>& memory_images,
+    std::uint64_t max_cycles = 2'000'000);
+
+}  // namespace hermes::hls

@@ -1,0 +1,142 @@
+#include "hv/ports.hpp"
+
+#include "common/strings.hpp"
+
+namespace hermes::hv {
+
+PortState* PortSwitch::find_mutable(std::string_view name) {
+  for (PortState& port : ports_) {
+    if (port.config.name == name) return &port;
+  }
+  return nullptr;
+}
+
+const PortState* PortSwitch::find(std::string_view name) const {
+  for (const PortState& port : ports_) {
+    if (port.config.name == name) return &port;
+  }
+  return nullptr;
+}
+
+Status PortSwitch::add_port(const PortConfig& config) {
+  if (find(config.name)) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         format("duplicate port '%s'", config.name.c_str()));
+  }
+  PortState state;
+  state.config = config;
+  ports_.push_back(std::move(state));
+  return Status::Ok();
+}
+
+Status PortSwitch::add_channel(const ChannelConfig& config) {
+  const PortState* source = find(config.source_port);
+  if (!source || source->config.dir != PortDir::kSource) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         format("channel source '%s' missing or not a source",
+                                config.source_port.c_str()));
+  }
+  for (const std::string& dest : config.destinations) {
+    const PortState* port = find(dest);
+    if (!port || port->config.dir != PortDir::kDestination) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           format("channel destination '%s' missing or not a "
+                                  "destination", dest.c_str()));
+    }
+    if (port->config.kind != source->config.kind) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "channel endpoints must have the same port kind");
+    }
+  }
+  channels_.push_back(config);
+  return Status::Ok();
+}
+
+Status PortSwitch::write(PartitionId writer, std::string_view port_name,
+                         const Message& message, Time now) {
+  PortState* port = find_mutable(port_name);
+  if (!port) {
+    return Status::Error(ErrorCode::kNotFound, "no such port");
+  }
+  if (port->config.owner != writer) {
+    return Status::Error(ErrorCode::kIsolationFault,
+                         format("partition %u does not own port '%s'", writer,
+                                port->config.name.c_str()));
+  }
+  if (port->config.dir != PortDir::kSource) {
+    return Status::Error(ErrorCode::kInvalidArgument, "port is not a source");
+  }
+  if (message.size() > port->config.max_message) {
+    return Status::Error(ErrorCode::kInvalidArgument, "message too large");
+  }
+
+  // Deliver through every channel rooted at this port.
+  for (const ChannelConfig& channel : channels_) {
+    if (channel.source_port != port->config.name) continue;
+    for (const std::string& dest_name : channel.destinations) {
+      PortState* dest = find_mutable(dest_name);
+      if (!dest) continue;
+      if (dest->config.kind == PortKind::kSampling) {
+        dest->last_value = message;
+        dest->last_write = now;
+        dest->ever_written = true;
+      } else {
+        if (dest->queue.size() >= dest->config.queue_depth) {
+          ++dest->overflows;
+          dest->queue.pop_front();  // drop-oldest policy
+        }
+        dest->queue.push_back(message);
+      }
+      ++messages_;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<PortSwitch::SampleResult> PortSwitch::read_sample(
+    PartitionId reader, std::string_view port_name, Time now) {
+  PortState* port = find_mutable(port_name);
+  if (!port) return Status::Error(ErrorCode::kNotFound, "no such port");
+  if (port->config.owner != reader) {
+    return Status::Error(ErrorCode::kIsolationFault,
+                         "reader does not own the port");
+  }
+  if (port->config.kind != PortKind::kSampling ||
+      port->config.dir != PortDir::kDestination) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "not a sampling destination port");
+  }
+  SampleResult result;
+  if (!port->ever_written) {
+    result.valid = false;
+    return result;
+  }
+  result.message = port->last_value;
+  result.age = now - port->last_write;
+  result.valid =
+      port->config.validity == 0 || result.age <= port->config.validity;
+  return result;
+}
+
+Result<Message> PortSwitch::read_queue(PartitionId reader,
+                                       std::string_view port_name) {
+  PortState* port = find_mutable(port_name);
+  if (!port) return Status::Error(ErrorCode::kNotFound, "no such port");
+  if (port->config.owner != reader) {
+    return Status::Error(ErrorCode::kIsolationFault,
+                         "reader does not own the port");
+  }
+  if (port->config.kind != PortKind::kQueuing ||
+      port->config.dir != PortDir::kDestination) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "not a queuing destination port");
+  }
+  if (port->queue.empty()) {
+    return Status::Error(ErrorCode::kNotFound, "queue empty");
+  }
+  Message message = std::move(port->queue.front());
+  port->queue.pop_front();
+  return message;
+}
+
+}  // namespace hermes::hv

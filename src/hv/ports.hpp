@@ -1,0 +1,86 @@
+// Inter-partition communication: sampling and queuing ports.
+//
+// XtratuM provides ARINC-653-style ports as the only legal way for
+// partitions to exchange data (space partitioning forbids shared memory).
+// A sampling port holds the most recent message with a validity period; a
+// queuing port is a bounded FIFO. Channels connect one source port to one or
+// more destination ports; the hypervisor copies data at write time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hv/types.hpp"
+
+namespace hermes::hv {
+
+using Message = std::vector<std::uint8_t>;
+
+enum class PortKind : std::uint8_t { kSampling, kQueuing };
+enum class PortDir : std::uint8_t { kSource, kDestination };
+
+struct PortConfig {
+  std::string name;
+  PortKind kind = PortKind::kSampling;
+  PortDir dir = PortDir::kSource;
+  PartitionId owner = kNoPartition;
+  std::size_t max_message = 64;
+  std::size_t queue_depth = 8;     ///< queuing only
+  Time validity = 0;               ///< sampling only; 0 = always valid
+};
+
+struct ChannelConfig {
+  std::string source_port;          ///< port name (must be kSource)
+  std::vector<std::string> destinations;
+};
+
+/// Runtime state of one port.
+struct PortState {
+  PortConfig config;
+  // Sampling.
+  Message last_value;
+  Time last_write = 0;
+  bool ever_written = false;
+  // Queuing.
+  std::deque<Message> queue;
+  std::uint64_t overflows = 0;  ///< messages dropped on full queue
+};
+
+/// The hypervisor's port switch: owns all ports and channels.
+class PortSwitch {
+ public:
+  Status add_port(const PortConfig& config);
+  Status add_channel(const ChannelConfig& config);
+
+  /// Write from a partition through its source port. Fails if the port does
+  /// not belong to `writer` or is not a source.
+  Status write(PartitionId writer, std::string_view port, const Message& message,
+               Time now);
+
+  /// Sampling read: returns the last value and whether it is still valid.
+  struct SampleResult {
+    Message message;
+    bool valid = false;
+    Time age = 0;
+  };
+  Result<SampleResult> read_sample(PartitionId reader, std::string_view port,
+                                   Time now);
+
+  /// Queuing read: pops the oldest message; kNotFound when empty.
+  Result<Message> read_queue(PartitionId reader, std::string_view port);
+
+  [[nodiscard]] const PortState* find(std::string_view name) const;
+  [[nodiscard]] std::uint64_t total_messages() const { return messages_; }
+
+ private:
+  PortState* find_mutable(std::string_view name);
+
+  std::vector<PortState> ports_;
+  std::vector<ChannelConfig> channels_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace hermes::hv

@@ -1,0 +1,304 @@
+#include "hw/sim.hpp"
+
+#include <cassert>
+#include <queue>
+
+#include "common/bits.hpp"
+#include "common/strings.hpp"
+
+namespace hermes::hw {
+
+Simulator::Simulator(const Module& module) : module_(module) {
+  status_ = module.validate();
+  if (!status_.ok()) return;
+
+  values_.assign(module.wire_count(), 0);
+
+  // Topological sort of combinational cells. A comb cell is ready once all
+  // of its inputs are either sequential outputs, port inputs, const outputs,
+  // or outputs of already-scheduled comb cells.
+  const auto& cells = module.cells();
+  std::vector<std::size_t> driver_of(module.wire_count(), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (WireId wire : cells[i].outputs) driver_of[wire] = i;
+  }
+
+  std::vector<unsigned> pending(cells.size(), 0);
+  std::vector<std::vector<std::size_t>> dependents(cells.size());
+  std::queue<std::size_t> ready;
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    if (is_sequential(cell.kind)) {
+      seq_cells_.push_back(i);
+      continue;
+    }
+    unsigned deps = 0;
+    for (WireId wire : cell.inputs) {
+      const std::size_t driver = driver_of[wire];
+      if (driver == static_cast<std::size_t>(-1)) continue;  // port input
+      if (is_sequential(cells[driver].kind)) continue;
+      ++deps;
+      dependents[driver].push_back(i);
+    }
+    pending[i] = deps;
+    if (deps == 0) ready.push(i);
+  }
+
+  while (!ready.empty()) {
+    const std::size_t index = ready.front();
+    ready.pop();
+    comb_order_.push_back(index);
+    for (std::size_t dep : dependents[index]) {
+      if (--pending[dep] == 0) ready.push(dep);
+    }
+  }
+
+  std::size_t comb_count = 0;
+  for (const Cell& cell : cells) {
+    if (!is_sequential(cell.kind)) ++comb_count;
+  }
+  if (comb_order_.size() != comb_count) {
+    status_ = Status::Error(ErrorCode::kInternal,
+                            format("combinational loop in module %s",
+                                   module.name().c_str()));
+    return;
+  }
+
+  reset();
+}
+
+void Simulator::reset() {
+  cycles_ = 0;
+  for (auto& value : values_) value = 0;
+  for (std::size_t index : seq_cells_) {
+    const Cell& cell = module_.cells()[index];
+    if (cell.kind == CellKind::kRegister) {
+      values_[cell.outputs[0]] =
+          truncate(cell.param, module_.wire_width(cell.outputs[0]));
+    }
+  }
+  mem_state_.clear();
+  for (const Memory& memory : module_.memories()) {
+    std::vector<std::uint64_t> contents(memory.depth, 0);
+    for (std::size_t i = 0; i < memory.init.size() && i < memory.depth; ++i) {
+      contents[i] = truncate(memory.init[i], memory.width);
+    }
+    mem_state_.push_back(std::move(contents));
+  }
+  eval_comb();
+}
+
+void Simulator::set_input(std::string_view port_name, std::uint64_t value) {
+  const WireId wire = module_.port_wire(port_name);
+  assert(wire != kNoWire && "unknown input port");
+  values_[wire] = truncate(value, module_.wire_width(wire));
+}
+
+std::uint64_t Simulator::get_output(std::string_view port_name) const {
+  const WireId wire = module_.port_wire(port_name);
+  assert(wire != kNoWire && "unknown output port");
+  return values_[wire];
+}
+
+void Simulator::eval_cell(const Cell& cell) {
+  const auto in = [&](std::size_t index) { return values_[cell.inputs[index]]; };
+  const auto in_width = [&](std::size_t index) {
+    return module_.wire_width(cell.inputs[index]);
+  };
+  const unsigned out_width =
+      cell.outputs.empty() ? 0 : module_.wire_width(cell.outputs[0]);
+  std::uint64_t result = 0;
+
+  switch (cell.kind) {
+    case CellKind::kConst: result = cell.param; break;
+    case CellKind::kAdd: result = in(0) + in(1); break;
+    case CellKind::kSub: result = in(0) - in(1); break;
+    case CellKind::kMul: result = in(0) * in(1); break;
+    case CellKind::kDivU:
+      result = in(1) == 0 ? ~0ULL : in(0) / in(1);
+      break;
+    case CellKind::kDivS: {
+      const std::int64_t a = sign_extend(in(0), in_width(0));
+      const std::int64_t b = sign_extend(in(1), in_width(1));
+      result = b == 0 ? ~0ULL : static_cast<std::uint64_t>(a / b);
+      break;
+    }
+    case CellKind::kRemU:
+      result = in(1) == 0 ? in(0) : in(0) % in(1);
+      break;
+    case CellKind::kRemS: {
+      const std::int64_t a = sign_extend(in(0), in_width(0));
+      const std::int64_t b = sign_extend(in(1), in_width(1));
+      result = b == 0 ? static_cast<std::uint64_t>(a)
+                      : static_cast<std::uint64_t>(a % b);
+      break;
+    }
+    case CellKind::kAnd: result = in(0) & in(1); break;
+    case CellKind::kOr: result = in(0) | in(1); break;
+    case CellKind::kXor: result = in(0) ^ in(1); break;
+    case CellKind::kNot: result = ~in(0); break;
+    case CellKind::kShl:
+      result = in(1) >= 64 ? 0 : in(0) << in(1);
+      break;
+    case CellKind::kShrU:
+      result = in(1) >= 64 ? 0 : in(0) >> in(1);
+      break;
+    case CellKind::kShrS: {
+      const std::int64_t a = sign_extend(in(0), in_width(0));
+      const std::uint64_t shift = in(1) >= 63 ? 63 : in(1);
+      result = static_cast<std::uint64_t>(a >> shift);
+      break;
+    }
+    case CellKind::kEq: result = in(0) == in(1); break;
+    case CellKind::kNe: result = in(0) != in(1); break;
+    case CellKind::kLtU: result = in(0) < in(1); break;
+    case CellKind::kLtS:
+      result = sign_extend(in(0), in_width(0)) < sign_extend(in(1), in_width(1));
+      break;
+    case CellKind::kLeU: result = in(0) <= in(1); break;
+    case CellKind::kLeS:
+      result = sign_extend(in(0), in_width(0)) <= sign_extend(in(1), in_width(1));
+      break;
+    case CellKind::kMux: result = in(0) ? in(2) : in(1); break;
+    case CellKind::kZext: result = in(0); break;
+    case CellKind::kSext:
+      result = static_cast<std::uint64_t>(sign_extend(in(0), in_width(0)));
+      break;
+    case CellKind::kSlice: result = in(0) >> cell.param; break;
+    case CellKind::kConcat: {
+      unsigned shift = 0;
+      for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+        result |= in(i) << shift;
+        shift += in_width(i);
+      }
+      break;
+    }
+    case CellKind::kRegister:
+    case CellKind::kRamRead:
+    case CellKind::kRamWrite:
+      assert(false && "sequential cell in comb schedule");
+      return;
+  }
+  values_[cell.outputs[0]] = truncate(result, out_width);
+}
+
+void Simulator::eval_comb() {
+  for (std::size_t index : comb_order_) {
+    eval_cell(module_.cells()[index]);
+  }
+}
+
+void Simulator::step() {
+  eval_comb();
+
+  // Sample all sequential inputs at the edge, then commit. Writes are
+  // committed before reads sample, modelling write-first RAM ports (a read
+  // and write to the same address in the same cycle returns the new data,
+  // matching the behavioral templates used for NG-ULTRA TDP RAM inference).
+  struct RegUpdate { WireId q; std::uint64_t value; };
+  struct RamUpdate { std::size_t mem; std::uint64_t addr, value; };
+  struct RamSample { WireId data; std::size_t mem; std::uint64_t addr; bool enabled; };
+  std::vector<RegUpdate> reg_updates;
+  std::vector<RamUpdate> ram_updates;
+  std::vector<RamSample> ram_samples;
+
+  for (std::size_t index : seq_cells_) {
+    const Cell& cell = module_.cells()[index];
+    switch (cell.kind) {
+      case CellKind::kRegister: {
+        const bool enabled = values_[cell.inputs[1]] != 0;
+        if (enabled) {
+          reg_updates.push_back({cell.outputs[0], values_[cell.inputs[0]]});
+        }
+        break;
+      }
+      case CellKind::kRamWrite: {
+        const bool enabled = values_[cell.inputs[2]] != 0;
+        if (enabled) {
+          ram_updates.push_back(
+              {static_cast<std::size_t>(cell.param), values_[cell.inputs[0]],
+               values_[cell.inputs[1]]});
+        }
+        break;
+      }
+      case CellKind::kRamRead: {
+        const bool enabled = values_[cell.inputs[1]] != 0;
+        ram_samples.push_back({cell.outputs[0],
+                               static_cast<std::size_t>(cell.param),
+                               values_[cell.inputs[0]], enabled});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const RegUpdate& update : reg_updates) {
+    values_[update.q] = truncate(update.value, module_.wire_width(update.q));
+  }
+  for (const RamUpdate& update : ram_updates) {
+    auto& contents = mem_state_[update.mem];
+    if (update.addr < contents.size()) {
+      contents[update.addr] =
+          truncate(update.value, module_.memories()[update.mem].width);
+    }
+  }
+  for (const RamSample& sample : ram_samples) {
+    if (!sample.enabled) continue;
+    const auto& contents = mem_state_[sample.mem];
+    values_[sample.data] =
+        sample.addr < contents.size() ? contents[sample.addr] : 0;
+  }
+
+  ++cycles_;
+  eval_comb();
+}
+
+Result<std::uint64_t> Simulator::run_until(std::string_view port_name,
+                                           std::uint64_t max_cycles) {
+  const std::uint64_t start = cycles_;
+  eval_comb();
+  while (get_output(port_name) == 0) {
+    if (cycles_ - start >= max_cycles) {
+      return Status::Error(
+          ErrorCode::kTimingViolation,
+          format("signal %.*s not asserted within %llu cycles",
+                 static_cast<int>(port_name.size()), port_name.data(),
+                 static_cast<unsigned long long>(max_cycles)));
+    }
+    step();
+  }
+  return cycles_ - start;
+}
+
+void Simulator::corrupt_wire(WireId wire, unsigned bit) {
+  if (wire >= values_.size()) return;
+  const unsigned width = module_.wire_width(wire);
+  if (bit >= width) return;
+  values_[wire] ^= 1ULL << bit;
+}
+
+std::vector<WireId> Simulator::register_outputs() const {
+  std::vector<WireId> outputs;
+  for (std::size_t index : seq_cells_) {
+    const Cell& cell = module_.cells()[index];
+    if (cell.kind == CellKind::kRegister) outputs.push_back(cell.outputs[0]);
+  }
+  return outputs;
+}
+
+std::uint64_t Simulator::read_memory(std::size_t mem, std::size_t addr) const {
+  const auto& contents = mem_state_.at(mem);
+  return addr < contents.size() ? contents[addr] : 0;
+}
+
+void Simulator::write_memory(std::size_t mem, std::size_t addr,
+                             std::uint64_t value) {
+  auto& contents = mem_state_.at(mem);
+  if (addr < contents.size()) {
+    contents[addr] = truncate(value, module_.memories()[mem].width);
+  }
+}
+
+}  // namespace hermes::hw

@@ -1,0 +1,80 @@
+// Cycle-accurate netlist simulator.
+//
+// Plays the role Verilog simulation plays in the real Bambu flow: every
+// HLS-generated accelerator is executed here against the golden IR
+// interpreter. Two-phase semantics per clock cycle: combinational cells
+// settle in topological order, then sequential cells (registers, RAM ports)
+// commit on the clock edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hw/netlist.hpp"
+
+namespace hermes::hw {
+
+class Simulator {
+ public:
+  /// Builds the evaluation schedule. Fails on combinational loops.
+  explicit Simulator(const Module& module);
+
+  /// True if construction succeeded (no comb loop, valid netlist).
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// Synchronous reset: registers to their reset values, cycle counter to 0.
+  /// Memory contents are reloaded from their init images.
+  void reset();
+
+  /// Drives an input port (persists until changed).
+  void set_input(std::string_view port_name, std::uint64_t value);
+
+  /// Settles combinational logic without advancing the clock.
+  void eval_comb();
+
+  /// One full clock cycle: settle, commit sequential state, settle again.
+  void step();
+
+  /// Runs until `port_name` (1-bit output, e.g. "done") reads 1, at most
+  /// `max_cycles` cycles. Returns the number of cycles consumed, or
+  /// kTimingViolation if the bound was hit.
+  Result<std::uint64_t> run_until(std::string_view port_name,
+                                  std::uint64_t max_cycles);
+
+  [[nodiscard]] std::uint64_t get(WireId wire) const { return values_.at(wire); }
+  [[nodiscard]] std::uint64_t get_output(std::string_view port_name) const;
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  /// Testbench backdoor access to embedded memories.
+  [[nodiscard]] std::uint64_t read_memory(std::size_t mem, std::size_t addr) const;
+  void write_memory(std::size_t mem, std::size_t addr, std::uint64_t value);
+
+  /// Radiation backdoor: flips one bit of a wire's current value. Only
+  /// meaningful for sequential outputs (register / RAM-port state) — a
+  /// combinational wire is recomputed at the next settle. Call between
+  /// step()s; do not call eval_comb() first if downstream effects should be
+  /// observed on the next cycle.
+  void corrupt_wire(WireId wire, unsigned bit);
+
+  /// Output wires of every register cell — the SEU target list for fault
+  /// campaigns on the running netlist.
+  [[nodiscard]] std::vector<WireId> register_outputs() const;
+
+  [[nodiscard]] const Module& module() const { return module_; }
+
+ private:
+  void eval_cell(const Cell& cell);
+
+  const Module& module_;
+  Status status_;
+  std::vector<std::size_t> comb_order_;   ///< comb cell indices, topo-sorted
+  std::vector<std::size_t> seq_cells_;    ///< register/RAM cell indices
+  std::vector<std::uint64_t> values_;     ///< current wire values
+  std::vector<std::vector<std::uint64_t>> mem_state_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace hermes::hw

@@ -1,0 +1,79 @@
+#include "hw/tmr_transform.hpp"
+
+#include "common/strings.hpp"
+
+namespace hermes::hw {
+
+Module tmr_transform(const Module& module, TmrStats* stats,
+                     const TmrOptions& options) {
+  Module hardened(module.name() + "_tmr");
+
+  // Mirror the wire table so all existing ids remain valid in the copy.
+  for (WireId wire = 0; wire < module.wire_count(); ++wire) {
+    hardened.add_wire(module.wire_width(wire), module.wire_name(wire));
+  }
+  for (const Port& port : module.ports()) {
+    if (port.is_input) {
+      hardened.add_input(port.wire, port.name);
+    } else {
+      hardened.add_output(port.wire, port.name);
+    }
+  }
+  for (const Memory& memory : module.memories()) {
+    hardened.add_memory(memory);
+  }
+
+  TmrStats local;
+  for (const Cell& cell : module.cells()) {
+    if (cell.kind != CellKind::kRegister) {
+      hardened.add_cell(cell);
+      continue;
+    }
+
+    // Triplicate: three replicas share d and en; the original q wire is
+    // re-driven by a bitwise 2-of-3 majority of the replicas.
+    const WireId q = cell.outputs[0];
+    const unsigned width = module.wire_width(q);
+    const std::string base =
+        cell.name.empty() ? module.wire_name(q) : cell.name;
+    WireId replica[3];
+    for (int r = 0; r < 3; ++r) {
+      Cell ff = cell;
+      ff.name = format("%s_tmr%d", base.c_str(), r);
+      ff.outputs = {hardened.add_wire(width, ff.name)};
+      if (options.self_healing) {
+        // d' = en ? d : voted(q); en' = 1 — idle cycles re-register the
+        // voted value, flushing any replica upset at the next edge.
+        const WireId healed =
+            hardened.make_mux(cell.inputs[1], /*if0=*/q, /*if1=*/cell.inputs[0],
+                              format("%s_heal%d", base.c_str(), r));
+        ff.inputs = {healed,
+                     hardened.make_const(1, 1, format("%s_en1_%d", base.c_str(), r))};
+      }
+      replica[r] = ff.outputs[0];
+      hardened.add_cell(std::move(ff));
+    }
+    const WireId ab = hardened.make_binop(CellKind::kAnd, replica[0],
+                                          replica[1], width);
+    const WireId ac = hardened.make_binop(CellKind::kAnd, replica[0],
+                                          replica[2], width);
+    const WireId bc = hardened.make_binop(CellKind::kAnd, replica[1],
+                                          replica[2], width);
+    const WireId ab_ac = hardened.make_binop(CellKind::kOr, ab, ac, width);
+    Cell vote;
+    vote.kind = CellKind::kOr;
+    vote.inputs = {ab_ac, bc};
+    vote.outputs = {q};  // drive the original wire: consumers untouched
+    vote.name = format("%s_voter", base.c_str());
+    hardened.add_cell(std::move(vote));
+
+    ++local.registers_triplicated;
+    local.voter_cells += 5;
+    local.added_ffs_bits += 2u * width;
+  }
+
+  if (stats) *stats = local;
+  return hardened;
+}
+
+}  // namespace hermes::hw

@@ -1,0 +1,41 @@
+// Netlist-level triple modular redundancy.
+//
+// NG-ULTRA provides "triple modular redundancy ... completely transparent to
+// the application developer" (HERMES, Sec. I). This pass is that mechanism
+// at the netlist level, the way rad-hard synthesis flows implement it:
+// every register is triplicated and its consumers read a bitwise 2-of-3
+// majority vote of the three replicas, so any single-event upset in one
+// flip-flop is masked within the same cycle and self-corrects at the next
+// enable (the voted value is what gets re-registered).
+//
+// Scope: flip-flop TMR (the dominant SEU target). Combinational logic and
+// RAM contents are not triplicated — RAM protection is the EDAC domain
+// (fault/edac.hpp), and comb upsets are transients that the next clock edge
+// flushes.
+#pragma once
+
+#include "hw/netlist.hpp"
+
+namespace hermes::hw {
+
+struct TmrOptions {
+  /// Self-healing (feedback) voters: when a register is not being written,
+  /// its replicas re-register the *voted* value every cycle, so a replica
+  /// upset heals at the next clock edge instead of lingering until the next
+  /// functional write. Costs one mux per register d-input; removes the
+  /// accumulated-double-upset failure mode of plain FF-TMR.
+  bool self_healing = false;
+};
+
+struct TmrStats {
+  std::size_t registers_triplicated = 0;
+  std::size_t voter_cells = 0;   ///< majority gates inserted
+  std::size_t added_ffs_bits = 0;///< extra storage bits (2x original)
+};
+
+/// Returns a TMR-hardened copy of `module`: identical ports and behaviour,
+/// every kRegister triplicated + voted. `stats` (optional) reports the cost.
+Module tmr_transform(const Module& module, TmrStats* stats = nullptr,
+                     const TmrOptions& options = {});
+
+}  // namespace hermes::hw

@@ -1,0 +1,66 @@
+#include "hw/vcd.hpp"
+
+#include "common/strings.hpp"
+
+namespace hermes::hw {
+namespace {
+
+/// Compact printable VCD identifier for wire index i.
+std::string vcd_id(std::size_t i) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + (i % 94)));
+    i /= 94;
+  } while (i != 0);
+  return id;
+}
+
+std::string binary(std::uint64_t value, unsigned width) {
+  std::string out(width, '0');
+  for (unsigned bit = 0; bit < width; ++bit) {
+    if ((value >> bit) & 1u) out[width - 1 - bit] = '1';
+  }
+  return out;
+}
+
+}  // namespace
+
+VcdTrace::VcdTrace(const Module& module, std::vector<WireId> wires)
+    : module_(module),
+      wires_(std::move(wires)),
+      last_(wires_.size(), 0),
+      has_last_(wires_.size(), false) {}
+
+void VcdTrace::sample(const Simulator& sim) {
+  bool wrote_time = false;
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    const std::uint64_t value = sim.get(wires_[i]);
+    if (has_last_[i] && last_[i] == value) continue;
+    if (!wrote_time) {
+      changes_ << '#' << sim.cycles() << '\n';
+      wrote_time = true;
+    }
+    const unsigned width = module_.wire_width(wires_[i]);
+    if (width == 1) {
+      changes_ << (value & 1u) << vcd_id(i) << '\n';
+    } else {
+      changes_ << 'b' << binary(value, width) << ' ' << vcd_id(i) << '\n';
+    }
+    last_[i] = value;
+    has_last_[i] = true;
+  }
+}
+
+std::string VcdTrace::str() const {
+  std::ostringstream out;
+  out << "$timescale 1ns $end\n$scope module " << module_.name() << " $end\n";
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    out << "$var wire " << module_.wire_width(wires_[i]) << ' ' << vcd_id(i)
+        << ' ' << module_.wire_name(wires_[i]) << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+  out << changes_.str();
+  return out.str();
+}
+
+}  // namespace hermes::hw

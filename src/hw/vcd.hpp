@@ -1,0 +1,35 @@
+// Minimal VCD (value change dump) writer so simulation runs can be inspected
+// in a waveform viewer — the debugging loop the real flow gets from a Verilog
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hw/netlist.hpp"
+#include "hw/sim.hpp"
+
+namespace hermes::hw {
+
+/// Records selected wires of a running Simulator and renders a VCD document.
+class VcdTrace {
+ public:
+  VcdTrace(const Module& module, std::vector<WireId> wires);
+
+  /// Samples the current values at the simulator's cycle counter.
+  void sample(const Simulator& sim);
+
+  /// Full VCD document (header + change records).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  const Module& module_;
+  std::vector<WireId> wires_;
+  std::vector<std::uint64_t> last_;
+  std::vector<bool> has_last_;
+  std::ostringstream changes_;
+};
+
+}  // namespace hermes::hw

@@ -1,0 +1,20 @@
+// Verilog-2001 emitter for hw::Module.
+//
+// Bambu's back-end "generates HDL code ready to be used in a commercial FPGA
+// design tool"; this emitter produces the equivalent artifact from our
+// netlist so users can inspect the generated accelerator or feed it to an
+// external flow. The AXI-generated interface code in the real tool is
+// Verilog-only, which this emitter mirrors (no VHDL back-end).
+#pragma once
+
+#include <string>
+
+#include "hw/netlist.hpp"
+
+namespace hermes::hw {
+
+/// Renders the module as synthesizable Verilog with an implicit `clk` /
+/// synchronous active-high `rst` pair driving all sequential cells.
+std::string emit_verilog(const Module& module);
+
+}  // namespace hermes::hw

@@ -1,0 +1,172 @@
+#include "ir/interp.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+#include "common/strings.hpp"
+
+namespace hermes::ir {
+
+Interpreter::Interpreter(const Function& function) : function_(function) {
+  memories_.resize(function.memories().size());
+  for (std::size_t i = 0; i < memories_.size(); ++i) {
+    const MemDecl& decl = function.memories()[i];
+    memories_[i].assign(decl.depth, 0);
+    for (std::size_t j = 0; j < decl.init.size() && j < decl.depth; ++j) {
+      memories_[i][j] = truncate(decl.init[j], decl.element.bits);
+    }
+  }
+}
+
+void Interpreter::set_memory(std::size_t mem, std::vector<std::uint64_t> contents) {
+  const MemDecl& decl = function_.memories().at(mem);
+  contents.resize(decl.depth, 0);
+  for (auto& word : contents) word = truncate(word, decl.element.bits);
+  memories_.at(mem) = std::move(contents);
+}
+
+Result<ExecStats> Interpreter::run(std::span<const std::uint64_t> scalar_args,
+                                   std::uint64_t max_steps) {
+  if (trace_) trace_->clear();
+  // Re-seed local / ROM memories so repeated runs are independent.
+  for (std::size_t i = 0; i < memories_.size(); ++i) {
+    const MemDecl& decl = function_.memories()[i];
+    if (decl.is_interface) continue;
+    memories_[i].assign(decl.depth, 0);
+    for (std::size_t j = 0; j < decl.init.size() && j < decl.depth; ++j) {
+      memories_[i][j] = truncate(decl.init[j], decl.element.bits);
+    }
+  }
+
+  std::vector<std::uint64_t> regs(function_.num_regs(), 0);
+  std::size_t arg_index = 0;
+  for (const ParamDecl& param : function_.params) {
+    if (param.is_array()) continue;
+    if (arg_index >= scalar_args.size()) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "not enough scalar arguments");
+    }
+    regs[param.reg] = truncate(scalar_args[arg_index++], param.type.bits);
+  }
+
+  ExecStats stats;
+  BlockId block = function_.entry;
+  std::size_t pc = 0;
+
+  while (stats.instructions < max_steps) {
+    const Instr& instr = function_.block(block).instrs[pc];
+    ++stats.instructions;
+    const unsigned bits = instr.type.bits;
+    const auto src = [&](int i) { return regs[instr.src[i]]; };
+    const auto s_src = [&](int i) { return sign_extend(regs[instr.src[i]], bits); };
+    std::uint64_t value = 0;
+
+    switch (instr.op) {
+      case Op::kConst: value = instr.imm; break;
+      case Op::kCopy: value = src(0); break;
+      case Op::kAdd: value = src(0) + src(1); break;
+      case Op::kSub: value = src(0) - src(1); break;
+      case Op::kMul: value = src(0) * src(1); ++stats.multiplies; break;
+      case Op::kDiv:
+        ++stats.divides;
+        if (instr.type.is_signed) {
+          value = s_src(1) == 0 ? ~0ULL
+                                : static_cast<std::uint64_t>(s_src(0) / s_src(1));
+        } else {
+          value = src(1) == 0 ? ~0ULL : src(0) / src(1);
+        }
+        break;
+      case Op::kRem:
+        ++stats.divides;
+        if (instr.type.is_signed) {
+          value = s_src(1) == 0 ? static_cast<std::uint64_t>(s_src(0))
+                                : static_cast<std::uint64_t>(s_src(0) % s_src(1));
+        } else {
+          value = src(1) == 0 ? src(0) : src(0) % src(1);
+        }
+        break;
+      case Op::kAnd: value = src(0) & src(1); break;
+      case Op::kOr: value = src(0) | src(1); break;
+      case Op::kXor: value = src(0) ^ src(1); break;
+      case Op::kNot: value = ~src(0); break;
+      case Op::kShl: value = src(1) >= 64 ? 0 : src(0) << src(1); break;
+      case Op::kShr:
+        if (instr.type.is_signed) {
+          const std::uint64_t amount = src(1) >= 63 ? 63 : src(1);
+          value = static_cast<std::uint64_t>(s_src(0) >> amount);
+        } else {
+          value = src(1) >= 64 ? 0 : src(0) >> src(1);
+        }
+        break;
+      case Op::kEq: value = src(0) == src(1); break;
+      case Op::kNe: value = src(0) != src(1); break;
+      case Op::kLt:
+        value = instr.type.is_signed
+                    ? (sign_extend(src(0), bits) < sign_extend(src(1), bits))
+                    : (src(0) < src(1));
+        break;
+      case Op::kLe:
+        value = instr.type.is_signed
+                    ? (sign_extend(src(0), bits) <= sign_extend(src(1), bits))
+                    : (src(0) <= src(1));
+        break;
+      case Op::kSelect: value = src(0) ? src(1) : src(2); break;
+      case Op::kZext: value = src(0); break;
+      case Op::kSext: {
+        const unsigned from_bits = function_.reg_type(instr.src[0]).bits;
+        value = static_cast<std::uint64_t>(sign_extend(src(0), from_bits));
+        break;
+      }
+      case Op::kTrunc: value = src(0); break;
+      case Op::kLoad: {
+        ++stats.mem_reads;
+        const auto& mem = memories_[instr.imm];
+        const std::uint64_t addr = src(0);
+        if (trace_) trace_->push_back({instr.imm, addr, false});
+        value = addr < mem.size() ? mem[addr] : 0;
+        break;
+      }
+      case Op::kStore: {
+        ++stats.mem_writes;
+        auto& mem = memories_[instr.imm];
+        const std::uint64_t addr = src(0);
+        if (trace_) {
+          trace_->push_back(
+              {instr.imm, addr, true,
+               truncate(src(1), function_.memories()[instr.imm].element.bits)});
+        }
+        if (addr < mem.size()) {
+          mem[addr] = truncate(src(1), function_.memories()[instr.imm].element.bits);
+        }
+        ++pc;
+        continue;
+      }
+      case Op::kBr:
+        block = instr.target0;
+        pc = 0;
+        continue;
+      case Op::kCondBr:
+        block = src(0) ? instr.target0 : instr.target1;
+        pc = 0;
+        continue;
+      case Op::kRet:
+        if (instr.src[0] != kNoReg) {
+          stats.return_value = regs[instr.src[0]];
+          stats.returned_value = true;
+        }
+        return stats;
+    }
+
+    if (instr.dest != kNoReg) {
+      // Comparison results are 1-bit regardless of the comparison width.
+      const unsigned dest_bits = function_.reg_type(instr.dest).bits;
+      regs[instr.dest] = truncate(value, dest_bits);
+    }
+    ++pc;
+  }
+  return Status::Error(ErrorCode::kTimingViolation,
+                       format("interpreter exceeded %llu steps",
+                              static_cast<unsigned long long>(max_steps)));
+}
+
+}  // namespace hermes::ir

@@ -1,0 +1,29 @@
+// AST -> IR lowering (the compilation step at the start of the HLS flow that
+// "analyzes data dependencies and loops in the input C/C++ program").
+//
+// All function calls are inlined (the type checker guarantees an acyclic call
+// graph), so the resulting ir::Function is self-contained: one FSMD per
+// top-level kernel. Counted for-loops with small constant trip counts can be
+// fully unrolled here, which is the loop transformation the middle-end passes
+// subsequently clean up.
+#pragma once
+
+#include "common/status.hpp"
+#include "frontend/ast.hpp"
+#include "ir/ir.hpp"
+
+namespace hermes::ir {
+
+struct LowerOptions {
+  /// Fully unroll counted loops with at most this many iterations (0 = never).
+  unsigned unroll_limit = 0;
+};
+
+/// Lowers `top` (and everything it calls) from a type-checked program.
+Result<Function> lower(const fe::Program& program, std::string_view top,
+                       const LowerOptions& options = {});
+
+/// fe::Type -> IrType (void maps to bits == 0).
+IrType to_ir_type(const fe::Type& type);
+
+}  // namespace hermes::ir

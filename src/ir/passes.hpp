@@ -1,0 +1,60 @@
+// Middle-end optimization passes (the "typical code optimizations" applied
+// before HLS in the Bambu flow, paper Fig. 2).
+//
+// The IR is non-SSA, so dataflow facts are tracked block-locally with
+// kill-on-write; DCE and CFG simplification are global. Each pass returns the
+// number of instructions it changed/removed so the FIG2 benchmark can report
+// per-pass effect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace hermes::ir {
+
+/// Removes unreachable blocks and merges trivial br-only chains.
+std::size_t simplify_cfg(Function& function);
+
+/// Block-local constant folding plus algebraic identities
+/// (x+0, x*1, x*0, x&0, x|0, x^0, x<<0, select with const cond, ...).
+std::size_t constant_fold(Function& function);
+
+/// Block-local copy propagation (rewrites operands through kCopy chains).
+std::size_t copy_propagate(Function& function);
+
+/// Block-local common-subexpression elimination. Loads participate until an
+/// intervening store to the same memory kills them.
+std::size_t cse(Function& function);
+
+/// mul/div/rem by power-of-two constants become shifts/masks (unsigned
+/// div/rem only; signed division semantics differ around zero).
+std::size_t strength_reduce(Function& function);
+
+/// Global dead-code elimination of pure instructions whose destination is
+/// never read (iterates to a fixed point).
+std::size_t dce(Function& function);
+
+/// Marks non-interface memories that are never stored to as ROMs.
+std::size_t mark_roms(Function& function);
+
+/// If-conversion: rewrites small, side-effect-free branch diamonds and
+/// triangles into speculated straight-line code with kSelect merges. In the
+/// FSMD model each eliminated block removes control states, and speculation
+/// is free in hardware (both arms become parallel datapath). Branches with
+/// stores, or with more than `max_instrs` instructions, are left alone.
+std::size_t if_convert(Function& function, unsigned max_instrs = 8);
+
+/// One pipeline entry for reporting.
+struct PassReport {
+  std::string pass;
+  std::size_t changed = 0;
+  std::size_t instrs_after = 0;
+};
+
+/// Runs the standard middle-end pipeline to a fixed point (at most 4
+/// rounds) and reports per-pass effect.
+std::vector<PassReport> run_pipeline(Function& function);
+
+}  // namespace hermes::ir

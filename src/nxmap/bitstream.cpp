@@ -1,0 +1,119 @@
+#include "nxmap/bitstream.hpp"
+
+#include <cstring>
+#include <map>
+
+#include "common/crc.hpp"
+#include "common/strings.hpp"
+
+namespace hermes::nx {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t offset) {
+  return static_cast<std::uint32_t>(data[offset]) |
+         (static_cast<std::uint32_t>(data[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[offset + 3]) << 24);
+}
+
+std::uint32_t device_id_of(const NxDevice& device) {
+  return crc32(device.name.data(), device.name.size());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> pack_bitstream(const hw::Module& module,
+                                         const MappedDesign& design,
+                                         const Placement& placement,
+                                         const NxDevice& device) {
+  // Group instance configuration words by tile column.
+  std::map<unsigned, std::vector<std::uint32_t>> columns;
+  for (std::size_t i = 0; i < design.instances.size(); ++i) {
+    const MappedInstance& inst = design.instances[i];
+    const auto [x, y] =
+        i < placement.location.size() ? placement.location[i]
+                                      : std::pair<unsigned, unsigned>{0, 0};
+    // Deterministic "configuration word" per instance: identity + geometry.
+    std::uint32_t word = static_cast<std::uint32_t>(inst.kind) << 28;
+    word |= (y & 0x3FFu) << 18;
+    word |= (inst.luts & 0xFFu) << 10;
+    word |= static_cast<std::uint32_t>(i) & 0x3FFu;
+    columns[x].push_back(word);
+    // LUT truth-table payload: one word per LUT.
+    if (inst.cell_index != SIZE_MAX) {
+      const hw::Cell& cell = module.cells()[inst.cell_index];
+      const std::uint32_t mask =
+          crc32(&cell.kind, sizeof cell.kind) ^ static_cast<std::uint32_t>(i);
+      for (unsigned l = 0; l < inst.luts; ++l) {
+        columns[x].push_back(mask + l);
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> out;
+  put_u32(out, kBitstreamMagic);
+  put_u32(out, device_id_of(device));
+  put_u32(out, static_cast<std::uint32_t>(columns.size()));
+
+  for (const auto& [col, words] : columns) {
+    // Frame: column id, word count, payload, CRC32 of the payload.
+    std::vector<std::uint8_t> frame;
+    put_u32(frame, col);
+    put_u32(frame, static_cast<std::uint32_t>(words.size()));
+    for (std::uint32_t word : words) put_u32(frame, word);
+    put_u32(frame, crc32(frame.data(), frame.size()));
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+
+  // Global CRC over everything so far.
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<BitstreamInfo> verify_bitstream(std::span<const std::uint8_t> image) {
+  if (image.size() < 16) {
+    return Status::Error(ErrorCode::kIntegrityError, "bitstream truncated");
+  }
+  if (get_u32(image, 0) != kBitstreamMagic) {
+    return Status::Error(ErrorCode::kIntegrityError, "bad bitstream magic");
+  }
+  const std::uint32_t global_crc = get_u32(image, image.size() - 4);
+  if (crc32(image.data(), image.size() - 4) != global_crc) {
+    return Status::Error(ErrorCode::kIntegrityError, "global CRC mismatch");
+  }
+
+  BitstreamInfo info;
+  info.device_id = get_u32(image, 4);
+  const std::uint32_t frames = get_u32(image, 8);
+  std::size_t offset = 12;
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    if (offset + 8 > image.size() - 4) {
+      return Status::Error(ErrorCode::kIntegrityError,
+                           format("frame %u truncated", f));
+    }
+    const std::uint32_t words = get_u32(image, offset + 4);
+    const std::size_t frame_bytes = 8 + static_cast<std::size_t>(words) * 4;
+    if (offset + frame_bytes + 4 > image.size() - 4 + 1) {
+      return Status::Error(ErrorCode::kIntegrityError,
+                           format("frame %u payload truncated", f));
+    }
+    const std::uint32_t crc = get_u32(image, offset + frame_bytes);
+    if (crc32(image.data() + offset, frame_bytes) != crc) {
+      return Status::Error(ErrorCode::kIntegrityError,
+                           format("frame %u CRC mismatch", f));
+    }
+    offset += frame_bytes + 4;
+  }
+  info.frames = frames;
+  info.bytes = image.size();
+  return info;
+}
+
+}  // namespace hermes::nx

@@ -1,0 +1,38 @@
+// Bitstream generation — the final NXmap stage (Fig. 3), and the artifact
+// BL1 programs into the eFPGA matrix during boot (Sec. IV: BL1 "loads the
+// eFPGA matrix configuration (i.e., the bitstream)").
+//
+// Frame-structured format with integrity features matching a rad-hard
+// configuration memory: a header identifying the device, one configuration
+// frame per used tile column with a CRC-32 each, and a global CRC so a
+// corrupted bitstream is always detected before programming.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "nxmap/place.hpp"
+
+namespace hermes::nx {
+
+inline constexpr std::uint32_t kBitstreamMagic = 0x4E583031;  // "NX01"
+
+struct BitstreamInfo {
+  std::uint32_t device_id = 0;
+  unsigned frames = 0;
+  std::size_t bytes = 0;
+};
+
+/// Serializes the placed design into a bitstream image.
+std::vector<std::uint8_t> pack_bitstream(const hw::Module& module,
+                                         const MappedDesign& design,
+                                         const Placement& placement,
+                                         const NxDevice& device);
+
+/// Parses and integrity-checks a bitstream (header magic, per-frame CRCs,
+/// global CRC). This is the check BL1 runs before eFPGA programming.
+Result<BitstreamInfo> verify_bitstream(std::span<const std::uint8_t> image);
+
+}  // namespace hermes::nx

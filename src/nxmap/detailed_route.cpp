@@ -1,0 +1,201 @@
+#include "nxmap/detailed_route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace hermes::nx {
+namespace {
+
+/// One net: the driver tile, every sink tile, and the demand it puts on a
+/// tile it crosses (its bit width).
+struct Net {
+  hw::WireId wire;
+  std::size_t driver_node;
+  std::vector<std::size_t> sink_nodes;
+  double bits;
+  std::vector<std::size_t> tree;     ///< routed tile nodes (driver included)
+  std::vector<std::size_t> charged;  ///< tree nodes that consumed channel capacity
+
+  [[nodiscard]] bool is_terminal(std::size_t node) const {
+    if (node == driver_node) return true;
+    return std::find(sink_nodes.begin(), sink_nodes.end(), node) !=
+           sink_nodes.end();
+  }
+};
+
+}  // namespace
+
+DetailedRouteResult detailed_route(const hw::Module& module,
+                                   const MappedDesign& design,
+                                   const Placement& placement,
+                                   const NxDevice& device,
+                                   const DetailedRouteOptions& options) {
+  DetailedRouteResult result;
+  result.routing.wire_delay_ns.assign(module.wire_count(), 0.0);
+
+  const unsigned side = std::max(placement.grid_side, 1u);
+  const std::size_t nodes = static_cast<std::size_t>(side) * side;
+  auto node_of = [&](std::size_t instance) {
+    const auto [x, y] = placement.location[instance];
+    return static_cast<std::size_t>(y) * side + x;
+  };
+
+  // Build nets: driver instance + consumer instances per wire.
+  std::vector<Net> nets;
+  {
+    std::vector<int> net_of_wire(module.wire_count(), -1);
+    for (std::size_t c = 0; c < module.cells().size(); ++c) {
+      for (hw::WireId wire : module.cells()[c].inputs) {
+        const std::size_t driver = design.driver_of_wire[wire];
+        if (driver == SIZE_MAX) continue;
+        if (net_of_wire[wire] < 0) {
+          Net net;
+          net.wire = wire;
+          net.driver_node = node_of(driver);
+          net.bits = module.wire_width(wire);
+          nets.push_back(std::move(net));
+          net_of_wire[wire] = static_cast<int>(nets.size() - 1);
+        }
+        const std::size_t sink = node_of(c);
+        Net& net = nets[net_of_wire[wire]];
+        if (sink != net.driver_node &&
+            std::find(net.sink_nodes.begin(), net.sink_nodes.end(), sink) ==
+                net.sink_nodes.end()) {
+          net.sink_nodes.push_back(sink);
+        }
+      }
+    }
+  }
+
+  std::vector<double> usage(nodes, 0.0);
+  std::vector<double> history(nodes, 0.0);
+  const double capacity = options.channel_capacity;
+
+  auto node_cost = [&](std::size_t node) {
+    const double over = usage[node] + 1.0 - capacity;
+    const double present =
+        over > 0 ? 1.0 + options.present_factor * over : 1.0;
+    return present + options.history_factor * history[node];
+  };
+
+  // Route one net as a Steiner tree: grow from the current tree to each
+  // sink with Dijkstra over the 4-neighbour grid.
+  std::vector<double> dist(nodes);
+  std::vector<int> prev(nodes);
+  auto route_net = [&](Net& net) {
+    net.tree.assign(1, net.driver_node);
+    for (std::size_t target : net.sink_nodes) {
+      if (std::find(net.tree.begin(), net.tree.end(), target) != net.tree.end()) {
+        continue;
+      }
+      std::fill(dist.begin(), dist.end(), 1e30);
+      std::fill(prev.begin(), prev.end(), -1);
+      using Item = std::pair<double, std::size_t>;
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+      for (std::size_t seed : net.tree) {
+        dist[seed] = 0.0;
+        frontier.push({0.0, seed});
+      }
+      while (!frontier.empty()) {
+        const auto [d, node] = frontier.top();
+        frontier.pop();
+        if (d > dist[node]) continue;
+        if (node == target) break;
+        const unsigned x = static_cast<unsigned>(node % side);
+        const unsigned y = static_cast<unsigned>(node / side);
+        const int neighbors[4][2] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+        for (const auto& [dx, dy] : neighbors) {
+          const int nx = static_cast<int>(x) + dx;
+          const int ny = static_cast<int>(y) + dy;
+          if (nx < 0 || ny < 0 || nx >= static_cast<int>(side) ||
+              ny >= static_cast<int>(side)) {
+            continue;
+          }
+          const std::size_t next = static_cast<std::size_t>(ny) * side + nx;
+          const double nd = d + node_cost(next);
+          if (nd < dist[next]) {
+            dist[next] = nd;
+            prev[next] = static_cast<int>(node);
+            frontier.push({nd, next});
+          }
+        }
+      }
+      // Walk back from the sink into the tree. Channel capacity is charged
+      // on intermediate nodes only: a net's own terminals connect through
+      // the tile's dedicated pin interconnect, and no amount of negotiation
+      // could move an endpoint anyway.
+      std::size_t cursor = target;
+      while (cursor != SIZE_MAX &&
+             std::find(net.tree.begin(), net.tree.end(), cursor) ==
+                 net.tree.end()) {
+        net.tree.push_back(cursor);
+        if (!net.is_terminal(cursor)) {
+          usage[cursor] += net.bits;
+          net.charged.push_back(cursor);
+        }
+        cursor = prev[cursor] < 0 ? SIZE_MAX
+                                  : static_cast<std::size_t>(prev[cursor]);
+      }
+    }
+  };
+
+  auto rip_up = [&](Net& net) {
+    for (std::size_t node : net.charged) {
+      usage[node] -= net.bits;
+    }
+    net.charged.clear();
+    net.tree.clear();
+  };
+
+  // Negotiation loop.
+  bool converged = false;
+  unsigned iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    for (Net& net : nets) {
+      if (!net.tree.empty()) rip_up(net);
+      route_net(net);
+    }
+    std::size_t overused = 0;
+    for (std::size_t node = 0; node < nodes; ++node) {
+      if (usage[node] > capacity) {
+        ++overused;
+        // Classic PathFinder: a unit of history pressure per overused
+        // iteration (plus the relative excess), so even barely-over tiles
+        // accumulate enough cost to force a detour within a few rounds.
+        history[node] += 1.0 + (usage[node] - capacity) / capacity;
+      }
+    }
+    result.overused_tiles = overused;
+    if (overused == 0) {
+      converged = true;
+      break;
+    }
+  }
+  result.iterations = std::min(iteration + 1, options.max_iterations);
+  result.converged = converged;
+
+  // Delays and metrics from the final trees.
+  double peak = 0.0;
+  std::size_t congested = 0;
+  for (std::size_t node = 0; node < nodes; ++node) {
+    peak = std::max(peak, usage[node] / capacity);
+    if (usage[node] > capacity) ++congested;
+  }
+  result.routing.max_congestion = peak;
+  result.routing.congested_tiles_pct =
+      nodes ? 100.0 * static_cast<double>(congested) / static_cast<double>(nodes)
+            : 0.0;
+
+  for (const Net& net : nets) {
+    result.total_tree_nodes += net.tree.size();
+    const double hops =
+        net.tree.empty() ? 0.0 : static_cast<double>(net.tree.size() - 1);
+    result.routing.total_wirelength += hops;
+    result.routing.wire_delay_ns[net.wire] =
+        device.target.routing_delay_ns * (0.5 + 0.25 * hops);
+  }
+  return result;
+}
+
+}  // namespace hermes::nx

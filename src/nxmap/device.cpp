@@ -1,0 +1,45 @@
+#include "nxmap/device.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace hermes::nx {
+
+NxDevice make_device(const hls::FpgaTarget& target) {
+  NxDevice device;
+  device.name = target.name;
+  device.target = target;
+  device.luts_per_tile = 64;
+  device.ffs_per_tile = 64;
+  const double tiles =
+      static_cast<double>(target.luts) / device.luts_per_tile;
+  const unsigned side = static_cast<unsigned>(std::ceil(std::sqrt(tiles)));
+  device.rows = side;
+  device.cols = side;
+  device.dsp_cols = static_cast<unsigned>(target.dsps / (side ? side : 1) + 1);
+  device.bram_cols = static_cast<unsigned>(target.brams / (side ? side : 1) + 1);
+  return device;
+}
+
+std::string device_inventory(const NxDevice& device) {
+  std::ostringstream out;
+  out << "=== " << device.name << " fabric inventory ===\n";
+  out << format("logic grid     : %u x %u tiles (%u LUT4 + %u FF each)\n",
+                device.rows, device.cols, device.luts_per_tile,
+                device.ffs_per_tile);
+  out << format("LUT4 capacity  : %zu\n", device.total_luts());
+  out << format("DSP blocks     : %zu (max %ux%u multiply)\n",
+                device.total_dsps(), device.target.dsp_mul_width,
+                device.target.dsp_mul_width);
+  out << format("TDP RAM blocks : %zu x %zu kbit\n", device.total_brams(),
+                device.target.bram_kbits);
+  out << format("LUT delay      : %.2f ns, routing hop %.2f ns, DSP %.2f ns, BRAM %.2f ns\n",
+                device.target.lut_delay_ns, device.target.routing_delay_ns,
+                device.target.dsp_delay_ns, device.target.bram_access_ns);
+  out << format("static power   : %.0f mW\n", device.target.static_power_mw);
+  return out.str();
+}
+
+}  // namespace hermes::nx

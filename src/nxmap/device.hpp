@@ -1,0 +1,40 @@
+// NX device model.
+//
+// Derives a tiled fabric (CLB-like clusters of LUT4s + FFs, DSP columns,
+// block-RAM columns) from an hls::FpgaTarget so the placer, router estimate
+// and STA have geometry to work with. For NG-ULTRA the headline capacity is
+// the paper's "550k LUTs" with DSPs and True Dual-Port RAMs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hls/target.hpp"
+
+namespace hermes::nx {
+
+struct NxDevice {
+  std::string name;
+  hls::FpgaTarget target;
+
+  unsigned rows = 0, cols = 0;      ///< logic tile grid
+  unsigned luts_per_tile = 64;      ///< LUT4s per logic tile (8 clusters of 8)
+  unsigned ffs_per_tile = 64;
+  unsigned dsp_cols = 0;            ///< DSP hard-block columns
+  unsigned bram_cols = 0;           ///< block-RAM columns
+
+  [[nodiscard]] std::size_t total_luts() const {
+    return static_cast<std::size_t>(rows) * cols * luts_per_tile;
+  }
+  [[nodiscard]] std::size_t total_dsps() const { return target.dsps; }
+  [[nodiscard]] std::size_t total_brams() const { return target.brams; }
+};
+
+/// Builds the device geometry for a target (square-ish logic grid sized to
+/// the LUT capacity).
+NxDevice make_device(const hls::FpgaTarget& target);
+
+/// Human-readable inventory (Fig. 1 companion output).
+std::string device_inventory(const NxDevice& device);
+
+}  // namespace hermes::nx

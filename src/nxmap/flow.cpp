@@ -1,0 +1,72 @@
+#include "nxmap/flow.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace hermes::nx {
+
+Result<BackendResult> run_backend(const hw::Module& module,
+                                  const NxDevice& device,
+                                  const BackendOptions& options) {
+  // Logic-synthesis cleanup: drop logic that drives nothing before paying
+  // for it in mapping, placement and routing.
+  hw::Module synthesized = module;
+  hw::sweep_dead_cells(synthesized);
+
+  auto mapped = techmap(synthesized, device);
+  if (!mapped.ok()) return mapped.status();
+
+  BackendResult result;
+  result.mapped = mapped.take();
+  result.placement = place(synthesized, result.mapped, device, options.place);
+  if (options.detailed_router) {
+    DetailedRouteResult detailed = detailed_route(
+        synthesized, result.mapped, result.placement, device, options.detailed);
+    result.routing = std::move(detailed.routing);
+    result.route_iterations = detailed.iterations;
+    result.route_converged = detailed.converged;
+  } else {
+    result.routing = route(synthesized, result.mapped, result.placement,
+                           device, options.route);
+  }
+  auto timing = analyze_timing(synthesized, result.mapped, result.routing,
+                               device, options.target_period_ns);
+  if (!timing.ok()) return timing.status();
+  result.timing = timing.take();
+  result.power =
+      estimate_power(result.mapped, device, result.timing.fmax_mhz);
+  result.bitstream =
+      pack_bitstream(synthesized, result.mapped, result.placement, device);
+  return result;
+}
+
+std::string backend_report(const BackendResult& result, const NxDevice& device) {
+  std::ostringstream out;
+  const Utilization& u = result.mapped.utilization;
+  out << "=== NXmap backend report (" << device.name << ") ===\n";
+  out << format("utilization : %zu LUT (%.2f%%), %zu FF, %zu DSP (%.2f%%), %zu BRAM (%.2f%%)\n",
+                u.luts, u.lut_pct, u.ffs, u.dsps, u.dsp_pct, u.brams, u.bram_pct);
+  out << format("placement   : HPWL %.1f tiles (region %ux%u), overflow %.1f\n",
+                result.placement.hpwl, result.placement.grid_side,
+                result.placement.grid_side, result.placement.overflow);
+  out << format("routing     : %.1f tile-hops, peak congestion %.2f, %.1f%% tiles congested\n",
+                result.routing.total_wirelength, result.routing.max_congestion,
+                result.routing.congested_tiles_pct);
+  out << format("timing      : critical path %.2f ns -> Fmax %.1f MHz",
+                result.timing.critical_path_ns, result.timing.fmax_mhz);
+  if (result.timing.target_period_ns > 0) {
+    out << format(" (target %.2f ns: %s, slack %.2f ns)",
+                  result.timing.target_period_ns,
+                  result.timing.meets_target ? "MET" : "VIOLATED",
+                  result.timing.slack_ns);
+  }
+  out << '\n';
+  out << format("power       : %.1f mW static + %.1f mW dynamic = %.1f mW @ %.1f MHz\n",
+                result.power.static_mw, result.power.dynamic_mw,
+                result.power.total_mw, result.power.freq_mhz);
+  out << format("bitstream   : %zu bytes\n", result.bitstream.size());
+  return out.str();
+}
+
+}  // namespace hermes::nx

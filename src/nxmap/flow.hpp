@@ -1,0 +1,54 @@
+// The complete NXmap backend flow (paper Fig. 3):
+//   HDL netlist -> logic synthesis/tech map -> place -> route -> STA ->
+//   bitstream, with a power estimate.
+//
+// "Seamless integration between Bambu and NXmap through the automatic
+// generation of backend synthesis scripts" — here the integration is a
+// direct API call taking the hw::Module the HLS back-end produced.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "nxmap/bitstream.hpp"
+#include "nxmap/detailed_route.hpp"
+#include "nxmap/device.hpp"
+#include "nxmap/place.hpp"
+#include "nxmap/power.hpp"
+#include "nxmap/route.hpp"
+#include "nxmap/sta.hpp"
+#include "nxmap/techmap.hpp"
+
+namespace hermes::nx {
+
+struct BackendOptions {
+  double target_period_ns = 0.0;  ///< 0 = report-only STA
+  PlaceOptions place;
+  RouteOptions route;
+  /// true: PathFinder negotiated-congestion routing (slower, real embeddings);
+  /// false: bounding-box estimator.
+  bool detailed_router = false;
+  DetailedRouteOptions detailed;
+};
+
+struct BackendResult {
+  MappedDesign mapped;
+  Placement placement;
+  Routing routing;
+  TimingReport timing;
+  PowerReport power;
+  std::vector<std::uint8_t> bitstream;
+  /// Populated when the detailed router ran.
+  unsigned route_iterations = 0;
+  bool route_converged = true;
+};
+
+/// Runs the full backend on a synthesizable module for the given device.
+Result<BackendResult> run_backend(const hw::Module& module,
+                                  const NxDevice& device,
+                                  const BackendOptions& options = {});
+
+/// Human-readable end-of-flow report (utilization, timing, power, bitstream).
+std::string backend_report(const BackendResult& result, const NxDevice& device);
+
+}  // namespace hermes::nx

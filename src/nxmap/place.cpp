@@ -1,0 +1,161 @@
+#include "nxmap/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace hermes::nx {
+namespace {
+
+/// Net model: one net per driven wire, connecting the driver instance to
+/// every consumer instance.
+struct Net {
+  std::vector<std::size_t> pins;  ///< instance indices (first = driver)
+};
+
+std::vector<Net> extract_nets(const hw::Module& module,
+                              const MappedDesign& design) {
+  std::vector<Net> nets;
+  std::map<hw::WireId, std::size_t> net_of_wire;
+  // Consumers per wire.
+  for (std::size_t c = 0; c < module.cells().size(); ++c) {
+    const hw::Cell& cell = module.cells()[c];
+    for (hw::WireId wire : cell.inputs) {
+      const std::size_t driver = design.driver_of_wire[wire];
+      if (driver == SIZE_MAX) continue;  // port input: ignore for HPWL
+      auto it = net_of_wire.find(wire);
+      if (it == net_of_wire.end()) {
+        nets.push_back({{driver}});
+        it = net_of_wire.emplace(wire, nets.size() - 1).first;
+      }
+      nets[it->second].pins.push_back(c);  // cell index == instance index
+    }
+  }
+  return nets;
+}
+
+double net_hpwl(const Net& net, const Placement& placement) {
+  unsigned min_x = ~0u, max_x = 0, min_y = ~0u, max_y = 0;
+  for (std::size_t pin : net.pins) {
+    const auto [x, y] = placement.location[pin];
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+  }
+  return static_cast<double>(max_x - min_x) + static_cast<double>(max_y - min_y);
+}
+
+}  // namespace
+
+Placement place(const hw::Module& module, const MappedDesign& design,
+                const NxDevice& device, const PlaceOptions& options) {
+  Placement placement;
+  const std::size_t n = design.instances.size();
+  placement.location.resize(n);
+
+  // Use a compact square region sized to the design (real placers pack too).
+  std::size_t area_luts = 0;
+  for (const MappedInstance& inst : design.instances) {
+    area_luts += std::max<unsigned>(inst.luts + inst.ffs / 4, 1);
+  }
+  const unsigned needed_tiles = static_cast<unsigned>(
+      (area_luts + device.luts_per_tile - 1) / device.luts_per_tile);
+  // Spread the region well beyond the area lower bound: routability needs
+  // whitespace (placers targeting ~25-35% logic density route best).
+  unsigned side = static_cast<unsigned>(
+      std::ceil(std::sqrt(static_cast<double>(needed_tiles) * 3.5)));
+  side = std::max(side, 2u);
+  side = std::min(side, std::min(device.rows, device.cols));
+  placement.grid_side = side;
+
+  Rng rng(options.seed);
+
+  // Initial placement: random.
+  for (std::size_t i = 0; i < n; ++i) {
+    placement.location[i] = {static_cast<unsigned>(rng.next_below(side)),
+                             static_cast<unsigned>(rng.next_below(side))};
+  }
+
+  const std::vector<Net> nets = extract_nets(module, design);
+  // nets touching each instance (for incremental cost updates).
+  std::vector<std::vector<std::size_t>> nets_of_instance(n);
+  for (std::size_t ni = 0; ni < nets.size(); ++ni) {
+    for (std::size_t pin : nets[ni].pins) {
+      if (pin < n) nets_of_instance[pin].push_back(ni);
+    }
+  }
+
+  // Tile usage map for the overflow penalty.
+  std::vector<double> tile_usage(static_cast<std::size_t>(side) * side, 0.0);
+  auto tile_index = [&](unsigned x, unsigned y) {
+    return static_cast<std::size_t>(y) * side + x;
+  };
+  auto inst_area = [&](std::size_t i) {
+    const MappedInstance& inst = design.instances[i];
+    return static_cast<double>(std::max<unsigned>(inst.luts + inst.ffs / 4, 1));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [x, y] = placement.location[i];
+    tile_usage[tile_index(x, y)] += inst_area(i);
+  }
+  const double capacity = device.luts_per_tile;
+  auto overflow_at = [&](std::size_t tile) {
+    const double over = tile_usage[tile] - capacity;
+    return over > 0 ? over * over : 0.0;
+  };
+
+  auto cost_of_nets = [&](const std::vector<std::size_t>& net_ids) {
+    double cost = 0;
+    for (std::size_t ni : net_ids) cost += net_hpwl(nets[ni], placement);
+    return cost;
+  };
+
+  double temperature = options.initial_temp;
+  const std::size_t moves_per_round = std::max<std::size_t>(n, 16);
+  const unsigned rounds = options.iterations_per_instance;
+
+  for (unsigned round = 0; round < rounds; ++round) {
+    for (std::size_t move = 0; move < moves_per_round; ++move) {
+      const std::size_t i = rng.next_below(n);
+      const auto old_loc = placement.location[i];
+      const unsigned nx = static_cast<unsigned>(rng.next_below(side));
+      const unsigned ny = static_cast<unsigned>(rng.next_below(side));
+      if (nx == old_loc.first && ny == old_loc.second) continue;
+
+      const std::size_t old_tile = tile_index(old_loc.first, old_loc.second);
+      const std::size_t new_tile = tile_index(nx, ny);
+      const double area = inst_area(i);
+
+      const double before = cost_of_nets(nets_of_instance[i]) +
+                            overflow_at(old_tile) + overflow_at(new_tile);
+      placement.location[i] = {nx, ny};
+      tile_usage[old_tile] -= area;
+      tile_usage[new_tile] += area;
+      const double after = cost_of_nets(nets_of_instance[i]) +
+                           overflow_at(old_tile) + overflow_at(new_tile);
+
+      const double delta = after - before;
+      const bool accept =
+          delta <= 0 || rng.next_double() < std::exp(-delta / temperature);
+      if (!accept) {
+        placement.location[i] = old_loc;
+        tile_usage[old_tile] += area;
+        tile_usage[new_tile] -= area;
+      }
+    }
+    temperature *= options.cooling;
+  }
+
+  // Final metrics.
+  placement.hpwl = 0;
+  for (const Net& net : nets) placement.hpwl += net_hpwl(net, placement);
+  placement.overflow = 0;
+  for (std::size_t t = 0; t < tile_usage.size(); ++t) {
+    const double over = tile_usage[t] - capacity;
+    if (over > 0) placement.overflow += over;
+  }
+  return placement;
+}
+
+}  // namespace hermes::nx

@@ -1,0 +1,34 @@
+// Placement (paper Fig. 3: "place").
+//
+// Simulated-annealing placement of mapped instances onto the logic tile
+// grid, minimizing half-perimeter wirelength with a quadratic penalty on
+// tile capacity overflow. Deterministic for a fixed seed.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/netlist.hpp"
+#include "nxmap/techmap.hpp"
+
+namespace hermes::nx {
+
+struct PlaceOptions {
+  unsigned iterations_per_instance = 64;  ///< SA moves ~ N * this
+  double initial_temp = 10.0;
+  double cooling = 0.92;
+  std::uint64_t seed = 7;
+};
+
+struct Placement {
+  /// Tile (x, y) of each mapped instance.
+  std::vector<std::pair<unsigned, unsigned>> location;
+  double hpwl = 0.0;          ///< final half-perimeter wirelength (tiles)
+  double overflow = 0.0;      ///< residual capacity overflow (0 = legal)
+  unsigned grid_side = 0;     ///< placement region actually used
+};
+
+Placement place(const hw::Module& module, const MappedDesign& design,
+                const NxDevice& device, const PlaceOptions& options = {});
+
+}  // namespace hermes::nx

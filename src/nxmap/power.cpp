@@ -1,0 +1,23 @@
+#include "nxmap/power.hpp"
+
+namespace hermes::nx {
+
+PowerReport estimate_power(const MappedDesign& design, const NxDevice& device,
+                           double freq_mhz, double activity) {
+  const hls::FpgaTarget& t = device.target;
+  const Utilization& u = design.utilization;
+  PowerReport report;
+  report.freq_mhz = freq_mhz;
+  report.static_mw = t.static_power_mw;
+  const double uw =
+      activity * freq_mhz *
+      (static_cast<double>(u.luts) * t.lut_dyn_uw_per_mhz +
+       static_cast<double>(u.ffs) * t.ff_dyn_uw_per_mhz +
+       static_cast<double>(u.dsps) * t.dsp_dyn_uw_per_mhz +
+       static_cast<double>(u.brams) * t.bram_dyn_uw_per_mhz);
+  report.dynamic_mw = uw / 1000.0;
+  report.total_mw = report.static_mw + report.dynamic_mw;
+  return report;
+}
+
+}  // namespace hermes::nx

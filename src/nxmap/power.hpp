@@ -1,0 +1,26 @@
+// Power model.
+//
+// Supports the paper's headline comparison ("power consumption four times
+// smaller" than current rad-hard FPGAs): dynamic power scales with used
+// resources, clock frequency and an activity factor; static power is a
+// device constant. Both sides of the CLAIM-SPEED benchmark run the same
+// mapped design through this model on the two device targets.
+#pragma once
+
+#include "nxmap/techmap.hpp"
+
+namespace hermes::nx {
+
+struct PowerReport {
+  double static_mw = 0.0;
+  double dynamic_mw = 0.0;
+  double total_mw = 0.0;
+  double freq_mhz = 0.0;
+};
+
+/// Estimates power at `freq_mhz` with the given switching activity
+/// (fraction of nodes toggling per cycle, default 12.5%).
+PowerReport estimate_power(const MappedDesign& design, const NxDevice& device,
+                           double freq_mhz, double activity = 0.125);
+
+}  // namespace hermes::nx

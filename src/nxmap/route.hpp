@@ -1,0 +1,35 @@
+// Global routing estimate (paper Fig. 3: "route").
+//
+// Computes per-connection routed delays from Manhattan distance on the
+// placed design, plus a congestion model: routing demand is spread over each
+// net's bounding box; tiles over the channel capacity dilate all delays
+// through them. This is a global-router-style estimate, which is what timing
+// closure decisions in the real NXmap flow are first made on.
+#pragma once
+
+#include <vector>
+
+#include "hw/netlist.hpp"
+#include "nxmap/place.hpp"
+
+namespace hermes::nx {
+
+struct RouteOptions {
+  /// Routing demand (wire-bits) one tile's channels sustain. Modern fabrics
+  /// provide on the order of 100-200 tracks per channel.
+  double channel_capacity = 160.0;
+};
+
+struct Routing {
+  /// Routed delay (ns) from the driver of `wire` to its consumers.
+  std::vector<double> wire_delay_ns;
+  double total_wirelength = 0.0;   ///< tile hops summed over nets
+  double max_congestion = 0.0;     ///< peak demand / capacity
+  double congested_tiles_pct = 0.0;
+};
+
+Routing route(const hw::Module& module, const MappedDesign& design,
+              const Placement& placement, const NxDevice& device,
+              const RouteOptions& options = {});
+
+}  // namespace hermes::nx

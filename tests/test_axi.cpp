@@ -1,0 +1,423 @@
+// Tests for the AXI4 protocol model, slave memory, master engine and the
+// AXI-wrapped HLS accelerator.
+#include <gtest/gtest.h>
+
+#include "axi/hls_axi.hpp"
+#include "axi/master.hpp"
+#include "axi/protocol.hpp"
+#include "axi/slave_memory.hpp"
+#include "common/rng.hpp"
+
+namespace hermes::axi {
+namespace {
+
+TEST(Protocol, BeatAddressIncr) {
+  AddrBeat ab;
+  ab.addr = 0x104;
+  ab.len = 3;
+  ab.size_log2 = 2;
+  ab.burst = Burst::kIncr;
+  EXPECT_EQ(beat_address(ab, 0), 0x104u);
+  EXPECT_EQ(beat_address(ab, 1), 0x108u);
+  EXPECT_EQ(beat_address(ab, 3), 0x110u);
+}
+
+TEST(Protocol, BeatAddressFixed) {
+  AddrBeat ab;
+  ab.addr = 0x200;
+  ab.len = 7;
+  ab.burst = Burst::kFixed;
+  EXPECT_EQ(beat_address(ab, 0), 0x200u);
+  EXPECT_EQ(beat_address(ab, 7), 0x200u);
+}
+
+TEST(Protocol, BeatAddressWrap) {
+  AddrBeat ab;
+  ab.addr = 0x108;
+  ab.len = 3;  // 4 beats of 4 bytes: 16-byte container starting at 0x100
+  ab.size_log2 = 2;
+  ab.burst = Burst::kWrap;
+  EXPECT_EQ(beat_address(ab, 0), 0x108u);
+  EXPECT_EQ(beat_address(ab, 1), 0x10Cu);
+  EXPECT_EQ(beat_address(ab, 2), 0x100u);  // wrapped
+  EXPECT_EQ(beat_address(ab, 3), 0x104u);
+}
+
+TEST(Protocol, BurstValidation) {
+  AddrBeat ok;
+  ok.addr = 0x0;
+  ok.len = 255;
+  ok.burst = Burst::kIncr;
+  EXPECT_TRUE(validate_burst(ok).ok());
+
+  AddrBeat crosses;
+  crosses.addr = 4096 - 8;
+  crosses.len = 3;  // 16 bytes from 4KB-8 crosses the boundary
+  crosses.burst = Burst::kIncr;
+  EXPECT_FALSE(validate_burst(crosses).ok());
+
+  AddrBeat bad_wrap;
+  bad_wrap.len = 2;  // 3 beats: illegal for WRAP
+  bad_wrap.burst = Burst::kWrap;
+  EXPECT_FALSE(validate_burst(bad_wrap).ok());
+
+  AddrBeat long_fixed;
+  long_fixed.len = 31;
+  long_fixed.burst = Burst::kFixed;
+  EXPECT_FALSE(validate_burst(long_fixed).ok());
+}
+
+TEST(Protocol, SplitTransferCoversRangeLegally) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t addr = rng.next_below(20000);
+    const std::uint64_t bytes = 1 + rng.next_below(9000);
+    const auto bursts = split_transfer(addr, bytes, 2);
+    ASSERT_FALSE(bursts.empty());
+    // Every burst legal, contiguous coverage of the beat range.
+    std::uint64_t cursor = (addr / 4) * 4;
+    for (const AddrBeat& ab : bursts) {
+      EXPECT_TRUE(validate_burst(ab).ok());
+      EXPECT_EQ(ab.addr, cursor);
+      cursor += (static_cast<std::uint64_t>(ab.len) + 1) * 4;
+    }
+    EXPECT_GE(cursor, addr + bytes);
+    EXPECT_LT(cursor - 4, addr + bytes + 4);
+  }
+}
+
+TEST(SlaveMemory, ReadAfterLatency) {
+  AxiSlaveMemory mem(1024, {.read_latency = 5, .write_latency = 3,
+                            .cycles_per_beat = 1, .max_outstanding = 2});
+  mem.poke_word(0x40, 0xCAFEBABE, 4);
+  AddrBeat ar;
+  ar.addr = 0x40;
+  ar.len = 0;
+  ASSERT_TRUE(mem.push_read(ar));
+  ReadBeat rb;
+  // Not ready before the latency elapses.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(mem.pop_read_beat(rb));
+    mem.tick();
+  }
+  ASSERT_TRUE(mem.pop_read_beat(rb));
+  EXPECT_EQ(rb.data, 0xCAFEBABEu);
+  EXPECT_TRUE(rb.last);
+  EXPECT_EQ(rb.resp, Resp::kOkay);
+}
+
+TEST(SlaveMemory, OutstandingLimit) {
+  AxiSlaveMemory mem(1024, {.read_latency = 100, .write_latency = 3,
+                            .cycles_per_beat = 1, .max_outstanding = 2});
+  AddrBeat ar;
+  ar.len = 0;
+  EXPECT_TRUE(mem.push_read(ar));
+  EXPECT_TRUE(mem.push_read(ar));
+  EXPECT_FALSE(mem.push_read(ar));  // queue full
+}
+
+TEST(SlaveMemory, WriteStrobes) {
+  AxiSlaveMemory mem(64, {});
+  mem.poke_word(0, 0xAABBCCDD, 4);
+  AddrBeat aw;
+  aw.addr = 0;
+  aw.len = 0;
+  WriteBeat wb;
+  wb.data = 0x11223344;
+  wb.strb = 0b0101;  // only lanes 0 and 2
+  wb.last = true;
+  ASSERT_TRUE(mem.push_write(aw, {wb}));
+  for (int i = 0; i < 20; ++i) mem.tick();
+  Resp resp;
+  unsigned id;
+  ASSERT_TRUE(mem.pop_write_resp(resp, id));
+  EXPECT_EQ(resp, Resp::kOkay);
+  EXPECT_EQ(mem.peek_word(0, 4), 0xAA22CC44u);
+}
+
+TEST(SlaveMemory, DecodeErrorOutsideRange) {
+  AxiSlaveMemory mem(64, {.read_latency = 1, .write_latency = 1,
+                          .cycles_per_beat = 1, .max_outstanding = 4});
+  AddrBeat ar;
+  ar.addr = 1024;
+  ar.len = 0;
+  ASSERT_TRUE(mem.push_read(ar));
+  mem.tick();
+  ReadBeat rb;
+  ASSERT_TRUE(mem.pop_read_beat(rb));
+  EXPECT_EQ(rb.resp, Resp::kDecErr);
+}
+
+TEST(Master, RoundTripAlignedAndUnaligned) {
+  Rng rng(23);
+  AxiSlaveMemory mem(8192, {});
+  AxiMaster master(mem);
+  for (const std::uint64_t addr : {0ull, 3ull, 4095ull, 4097ull}) {
+    std::vector<std::uint8_t> data(515);
+    for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.next_u64());
+    master.write(addr, data);
+    std::vector<std::uint8_t> readback(data.size());
+    master.read(addr, readback);
+    EXPECT_EQ(readback, data) << "addr " << addr;
+  }
+  EXPECT_GT(master.stats().bursts, 0u);
+  EXPECT_EQ(master.stats().bytes_read, master.stats().bytes_written);
+}
+
+TEST(Master, UnalignedWritePreservesNeighbors) {
+  AxiSlaveMemory mem(64, {});
+  AxiMaster master(mem);
+  for (std::size_t i = 0; i < 16; ++i) mem.poke(i, 0xEE);
+  const std::uint8_t payload[3] = {1, 2, 3};
+  master.write(5, payload);
+  EXPECT_EQ(mem.peek(4), 0xEE);
+  EXPECT_EQ(mem.peek(5), 1);
+  EXPECT_EQ(mem.peek(7), 3);
+  EXPECT_EQ(mem.peek(8), 0xEE);
+}
+
+TEST(Master, BurstBeatsSingleBeatOnThroughput) {
+  // Moving 1 KiB: one burst read vs 256 single-word reads.
+  MemoryTiming timing{.read_latency = 12, .write_latency = 8,
+                      .cycles_per_beat = 1, .max_outstanding = 4};
+  AxiSlaveMemory mem_a(4096, timing), mem_b(4096, timing);
+  AxiMaster burst(mem_a), single(mem_b);
+
+  std::vector<std::uint8_t> buffer(1024);
+  burst.read(0, buffer);
+  const std::uint64_t burst_cycles = burst.stats().cycles;
+
+  for (int i = 0; i < 256; ++i) single.read_word(i * 4, 4);
+  const std::uint64_t single_cycles = single.stats().cycles;
+
+  EXPECT_LT(burst_cycles * 2, single_cycles)
+      << "bursts must amortize the transaction latency";
+}
+
+TEST(HlsAxi, CosimMatchesAndModesDiffer) {
+  const char* source = R"(
+    void scale(int32_t data[32], int factor) {
+      for (int i = 0; i < 32; i = i + 1) {
+        data[i] = data[i] * factor + 1;
+      }
+    }
+  )";
+  hls::FlowOptions options;
+  options.top = "scale";
+  auto flow = hls::run_flow(source, options);
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+
+  const AxiMap map = default_axi_map(flow.value().function);
+  ASSERT_TRUE(map.base_addr.count(0));
+
+  for (AxiMode mode : {AxiMode::kDmaBurst, AxiMode::kPerAccess}) {
+    AxiSlaveMemory ddr(1 << 16, {});
+    for (std::size_t i = 0; i < 32; ++i) {
+      ddr.poke_word(map.base_addr.at(0) + i * 4, i * 3, 4);
+    }
+    auto run = run_with_axi(flow.value(), {7}, ddr, map, mode);
+    ASSERT_TRUE(run.ok()) << run.status().to_string();
+    EXPECT_TRUE(run.value().match) << run.value().mismatch;
+    EXPECT_GT(run.value().transfer_cycles, 0u);
+    // Verify the DDR contents explicitly as well.
+    for (std::size_t i = 0; i < 32; ++i) {
+      EXPECT_EQ(ddr.peek_word(map.base_addr.at(0) + i * 4, 4),
+                static_cast<std::uint32_t>(i * 3 * 7 + 1));
+    }
+  }
+}
+
+TEST(HlsAxi, PerAccessSlowerThanDma) {
+  const char* source = R"(
+    int32_t acc(int32_t data[64]) {
+      int32_t s = 0;
+      for (int i = 0; i < 64; i = i + 1) { s = s + data[i]; }
+      return s;
+    }
+  )";
+  hls::FlowOptions options;
+  options.top = "acc";
+  auto flow = hls::run_flow(source, options);
+  ASSERT_TRUE(flow.ok());
+  const AxiMap map = default_axi_map(flow.value().function);
+
+  std::uint64_t totals[2] = {0, 0};
+  int index = 0;
+  for (AxiMode mode : {AxiMode::kDmaBurst, AxiMode::kPerAccess}) {
+    AxiSlaveMemory ddr(1 << 16, {});
+    for (std::size_t i = 0; i < 64; ++i) {
+      ddr.poke_word(map.base_addr.at(0) + i * 4, 1, 4);
+    }
+    auto run = run_with_axi(flow.value(), {}, ddr, map, mode);
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run.value().match);
+    EXPECT_EQ(run.value().return_value, 64u);
+    totals[index++] = run.value().total_cycles;
+  }
+  EXPECT_LT(totals[0], totals[1])
+      << "DMA-burst wrapper must beat per-access without caching";
+}
+
+TEST(HlsAxi, MemoryLatencySensitivity) {
+  const char* source = R"(
+    int32_t acc(int32_t data[32]) {
+      int32_t s = 0;
+      for (int i = 0; i < 32; i = i + 1) { s = s + data[i]; }
+      return s;
+    }
+  )";
+  hls::FlowOptions options;
+  options.top = "acc";
+  auto flow = hls::run_flow(source, options);
+  ASSERT_TRUE(flow.ok());
+  const AxiMap map = default_axi_map(flow.value().function);
+
+  std::uint64_t previous = 0;
+  for (unsigned latency : {2u, 16u, 64u}) {
+    MemoryTiming timing;
+    timing.read_latency = latency;
+    timing.write_latency = latency;
+    AxiSlaveMemory ddr(1 << 16, timing);
+    for (std::size_t i = 0; i < 32; ++i) {
+      ddr.poke_word(map.base_addr.at(0) + i * 4, 2, 4);
+    }
+    auto run = run_with_axi(flow.value(), {}, ddr, map, AxiMode::kPerAccess);
+    ASSERT_TRUE(run.ok());
+    EXPECT_GE(run.value().total_cycles, previous)
+        << "higher memory latency cannot be faster";
+    previous = run.value().total_cycles;
+  }
+}
+
+}  // namespace
+}  // namespace hermes::axi
+
+// Protocol-checker tests appended as a separate suite.
+namespace hermes::axi {
+namespace {
+
+TEST(Checker, CleanOnLegalTraffic) {
+  AxiSlaveMemory ddr(8192, {});
+  AxiMaster master(ddr);
+  AxiChecker checker;
+  master.attach_checker(&checker);
+  std::vector<std::uint8_t> buffer(1000);
+  master.read(5, buffer);        // unaligned multi-burst read
+  master.write(4090, buffer);    // crosses the 4KB boundary -> split bursts
+  master.read_word(16, 4);
+  master.write_word(20, 0xAB, 2);
+  EXPECT_TRUE(checker.clean()) << checker.violations().front();
+  EXPECT_EQ(checker.dangling(), 0u);
+}
+
+TEST(Checker, FlagsIllegalBurstAtAddressChannel) {
+  AxiChecker checker;
+  AddrBeat crossing;
+  crossing.addr = 4096 - 4;
+  crossing.len = 3;  // crosses 4KB
+  crossing.burst = Burst::kIncr;
+  checker.on_ar(crossing);
+  ASSERT_FALSE(checker.clean());
+  EXPECT_NE(checker.violations()[0].find("4KB"), std::string::npos);
+}
+
+TEST(Checker, FlagsMisplacedWlast) {
+  AxiChecker checker;
+  AddrBeat aw;
+  aw.len = 2;  // 3 beats
+  checker.on_aw(aw);
+  WriteBeat beat;
+  beat.last = true;  // LAST on the first of three beats
+  checker.on_w(beat);
+  EXPECT_FALSE(checker.clean());
+}
+
+TEST(Checker, FlagsMissingWlast) {
+  AxiChecker checker;
+  AddrBeat aw;
+  aw.len = 0;  // single beat: LAST required
+  checker.on_aw(aw);
+  WriteBeat beat;
+  beat.last = false;
+  checker.on_w(beat);
+  EXPECT_FALSE(checker.clean());
+}
+
+TEST(Checker, FlagsOrphanResponses) {
+  AxiChecker checker;
+  ReadBeat rb;
+  rb.last = true;
+  checker.on_r(rb);
+  checker.on_b(Resp::kOkay, 0);
+  EXPECT_EQ(checker.violations().size(), 2u);
+}
+
+TEST(Checker, FlagsResponseBeforeWlast) {
+  AxiChecker checker;
+  AddrBeat aw;
+  aw.len = 1;
+  checker.on_aw(aw);
+  WriteBeat beat;
+  beat.last = false;
+  checker.on_w(beat);
+  checker.on_b(Resp::kOkay, 0);  // B while the burst is still open
+  EXPECT_FALSE(checker.clean());
+}
+
+TEST(Checker, TracksReadBeatCountsPerId) {
+  AxiChecker checker;
+  AddrBeat ar;
+  ar.len = 1;  // 2 beats
+  ar.id = 3;
+  checker.on_ar(ar);
+  ReadBeat rb;
+  rb.id = 3;
+  rb.last = false;
+  checker.on_r(rb);
+  rb.last = true;
+  checker.on_r(rb);
+  EXPECT_TRUE(checker.clean());
+  EXPECT_EQ(checker.dangling(), 0u);
+  // One more beat on the now-retired transaction.
+  checker.on_r(rb);
+  EXPECT_FALSE(checker.clean());
+}
+
+TEST(Checker, DanglingTransactionsReported) {
+  AxiChecker checker;
+  AddrBeat ar;
+  ar.len = 3;
+  checker.on_ar(ar);
+  AddrBeat aw;
+  aw.len = 0;
+  checker.on_aw(aw);
+  EXPECT_EQ(checker.dangling(), 2u);
+}
+
+/// End-to-end: the whole AXI-wrapped accelerator run stays protocol-clean.
+TEST(Checker, AcceleratorTrafficIsClean) {
+  const char* source = R"(
+    void touch(int32_t data[64]) {
+      for (int i = 0; i < 64; i = i + 1) { data[i] = data[i] + i; }
+    }
+  )";
+  hls::FlowOptions options;
+  options.top = "touch";
+  auto flow = hls::run_flow(source, options);
+  ASSERT_TRUE(flow.ok());
+  const AxiMap map = default_axi_map(flow.value().function);
+  AxiSlaveMemory ddr(1 << 16, {});
+  // run_with_axi owns its master, so validate the same traffic pattern
+  // through a checked master manually: DMA-in + DMA-out of the array.
+  AxiChecker checker;
+  AxiMaster master(ddr);
+  master.attach_checker(&checker);
+  std::vector<std::uint8_t> image(64 * 4);
+  master.read(map.base_addr.at(0), image);
+  master.write(map.base_addr.at(0), image);
+  EXPECT_TRUE(checker.clean()) << checker.violations().front();
+  EXPECT_EQ(checker.dangling(), 0u);
+}
+
+}  // namespace
+}  // namespace hermes::axi

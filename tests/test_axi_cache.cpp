@@ -1,0 +1,242 @@
+// Tests for the configurable AXI cache + prefetcher (the paper's named
+// future-work extension: caching/prefetching with customizable size,
+// associativity, ...).
+#include <gtest/gtest.h>
+
+#include "axi/cache.hpp"
+#include "axi/hls_axi.hpp"
+#include "common/rng.hpp"
+#include "hls/flow.hpp"
+
+namespace hermes::axi {
+namespace {
+
+MemoryTiming slow_memory() {
+  MemoryTiming timing;
+  timing.read_latency = 20;
+  timing.write_latency = 16;
+  return timing;
+}
+
+TEST(Cache, ReadsThroughAndHitsOnReuse) {
+  AxiSlaveMemory ddr(4096, slow_memory());
+  ddr.poke_word(0x100, 0xDEADBEEF, 4);
+  AxiMaster master(ddr);
+  AxiCache cache(master, {});
+  EXPECT_EQ(cache.read_word(0x100, 4), 0xDEADBEEFu);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  const std::uint64_t cycles_after_miss = cache.stats().cycles;
+  // Same line: hits, one cycle each.
+  EXPECT_EQ(cache.read_word(0x100, 4), 0xDEADBEEFu);
+  EXPECT_EQ(cache.read_word(0x104, 4), 0u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().cycles, cycles_after_miss + 2);
+}
+
+TEST(Cache, WriteBackDelaysMemoryUpdate) {
+  AxiSlaveMemory ddr(4096, slow_memory());
+  AxiMaster master(ddr);
+  CacheConfig config;
+  config.write_back = true;
+  AxiCache cache(master, config);
+  cache.write_word(0x40, 0x1234, 4);
+  // Dirty in cache, memory still stale.
+  EXPECT_EQ(ddr.peek_word(0x40, 4), 0u);
+  EXPECT_EQ(cache.read_word(0x40, 4), 0x1234u);
+  cache.flush();
+  EXPECT_EQ(ddr.peek_word(0x40, 4), 0x1234u);
+  EXPECT_GE(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteThroughUpdatesMemoryImmediately) {
+  AxiSlaveMemory ddr(4096, slow_memory());
+  AxiMaster master(ddr);
+  CacheConfig config;
+  config.write_back = false;
+  AxiCache cache(master, config);
+  cache.write_word(0x40, 0x5678, 4);
+  EXPECT_EQ(ddr.peek_word(0x40, 4), 0x5678u);
+  cache.flush();  // nothing dirty
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, EvictionWritesBackDirtyLine) {
+  AxiSlaveMemory ddr(1 << 16, slow_memory());
+  AxiMaster master(ddr);
+  CacheConfig config;
+  config.size_bytes = 128;  // 2 sets x 2 ways x 32B
+  config.associativity = 2;
+  config.line_bytes = 32;
+  AxiCache cache(master, config);
+  cache.write_word(0x0, 0xAA, 4);
+  // Three more lines mapping to set 0 (stride = line_bytes * num_sets = 64).
+  cache.read_word(0x40, 4);
+  cache.read_word(0x80, 4);   // evicts one of the first two
+  cache.read_word(0xC0, 4);
+  cache.flush();
+  EXPECT_EQ(ddr.peek_word(0x0, 4), 0xAAu);  // dirty line survived eviction
+  EXPECT_GE(cache.stats().evictions, 2u);
+}
+
+TEST(Cache, AssociativityAbsorbsConflicts) {
+  // Ping-pong between two lines in the same set: direct-mapped thrashes,
+  // 2-way hits after the first round.
+  auto run = [](unsigned ways) {
+    AxiSlaveMemory ddr(1 << 16, slow_memory());
+    AxiMaster master(ddr);
+    CacheConfig config;
+    config.size_bytes = 256;
+    config.associativity = ways;
+    config.line_bytes = 32;
+    AxiCache cache(master, config);
+    const std::size_t sets = 256 / (ways * 32);
+    const std::uint64_t stride = 32 * sets;  // same set every time
+    for (int round = 0; round < 16; ++round) {
+      cache.read_word(0, 4);
+      cache.read_word(stride, 4);
+    }
+    return cache.stats();
+  };
+  const CacheStats direct = run(1);
+  const CacheStats two_way = run(2);
+  EXPECT_EQ(direct.misses, 32u);  // thrash forever
+  EXPECT_EQ(two_way.misses, 2u);  // compulsory only
+  EXPECT_LT(two_way.cycles, direct.cycles / 4);
+}
+
+TEST(Cache, LruKeepsHotLine) {
+  AxiSlaveMemory ddr(1 << 16, slow_memory());
+  AxiMaster master(ddr);
+  CacheConfig config;
+  config.size_bytes = 64;  // 1 set x 2 ways x 32B
+  config.associativity = 2;
+  config.line_bytes = 32;
+  AxiCache cache(master, config);
+  cache.read_word(0x00, 4);   // A
+  cache.read_word(0x20, 4);   // B
+  cache.read_word(0x00, 4);   // touch A (B becomes LRU)
+  cache.read_word(0x40, 4);   // C evicts B
+  const std::uint64_t misses_before = cache.stats().misses;
+  cache.read_word(0x00, 4);   // A must still be resident
+  EXPECT_EQ(cache.stats().misses, misses_before);
+}
+
+TEST(Cache, PrefetchTurnsSequentialMissesIntoHits) {
+  auto run = [](unsigned depth) {
+    AxiSlaveMemory ddr(1 << 16, slow_memory());
+    AxiMaster master(ddr);
+    CacheConfig config;
+    config.size_bytes = 4096;
+    config.prefetch_lines = depth;
+    AxiCache cache(master, config);
+    for (std::uint64_t addr = 0; addr < 2048; addr += 4) {
+      cache.read_word(addr, 4);
+    }
+    return cache.stats();
+  };
+  const CacheStats cold = run(0);
+  const CacheStats prefetched = run(2);
+  EXPECT_GT(prefetched.hit_rate(), cold.hit_rate());
+  EXPECT_GT(prefetched.prefetch_hits, 0u);
+  EXPECT_LT(prefetched.misses, cold.misses);
+}
+
+TEST(Cache, RandomizedConsistencyAgainstFlatMemory) {
+  // Arbitrary read/write mix through the cache must read exactly what a
+  // flat reference memory would.
+  Rng rng(88);
+  for (unsigned ways : {1u, 2u, 4u}) {
+    AxiSlaveMemory ddr(8192, {});
+    AxiMaster master(ddr);
+    CacheConfig config;
+    config.size_bytes = 512;
+    config.associativity = ways;
+    config.line_bytes = 32;
+    AxiCache cache(master, config);
+    std::vector<std::uint32_t> reference(2048, 0);
+    for (int op = 0; op < 4000; ++op) {
+      const std::uint64_t index = rng.next_below(2048);
+      if (rng.next_bool(0.4)) {
+        const auto value = static_cast<std::uint32_t>(rng.next_u64());
+        cache.write_word(index * 4, value, 4);
+        reference[index] = value;
+      } else {
+        EXPECT_EQ(cache.read_word(index * 4, 4), reference[index])
+            << "ways=" << ways << " index=" << index;
+      }
+    }
+    cache.flush();
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(ddr.peek_word(i * 4, 4), reference[i]) << i;
+    }
+  }
+}
+
+TEST(HlsAxiCached, MatchesAndBeatsUncachedPerAccess) {
+  const char* source = R"(
+    int32_t smooth(int32_t data[128], int32_t out[128]) {
+      int32_t acc = 0;
+      for (int i = 1; i < 127; i = i + 1) {
+        out[i] = (data[i - 1] + data[i] + data[i + 1]) / 3;
+        acc = acc + out[i];
+      }
+      return acc;
+    }
+  )";
+  hls::FlowOptions options;
+  options.top = "smooth";
+  auto flow = hls::run_flow(source, options);
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  const AxiMap map = default_axi_map(flow.value().function);
+
+  std::uint64_t uncached_cycles = 0, cached_cycles = 0;
+  for (AxiMode mode : {AxiMode::kPerAccess, AxiMode::kPerAccessCached}) {
+    AxiSlaveMemory ddr(1 << 16, slow_memory());
+    for (std::size_t i = 0; i < 128; ++i) {
+      ddr.poke_word(map.base_addr.at(0) + i * 4, i * 5 + 1, 4);
+    }
+    CacheConfig cache_config;
+    cache_config.size_bytes = 1024;
+    cache_config.prefetch_lines = 1;
+    auto run = run_with_axi(flow.value(), {}, ddr, map, mode, cache_config);
+    ASSERT_TRUE(run.ok()) << run.status().to_string();
+    EXPECT_TRUE(run.value().match) << run.value().mismatch;
+    if (mode == AxiMode::kPerAccess) {
+      uncached_cycles = run.value().total_cycles;
+    } else {
+      cached_cycles = run.value().total_cycles;
+      EXPECT_GT(run.value().cache.hit_rate(), 0.8)
+          << "stencil reuse must hit in the cache";
+    }
+  }
+  EXPECT_LT(cached_cycles * 2, uncached_cycles)
+      << "the cache must drastically reduce the average access time "
+         "(paper Sec. II)";
+}
+
+TEST(HlsAxiCached, FinalDdrContentsCorrect) {
+  const char* source = R"(
+    void fill(int32_t out[64], int seed) {
+      for (int i = 0; i < 64; i = i + 1) {
+        out[i] = seed * i + (i >> 1);
+      }
+    }
+  )";
+  hls::FlowOptions options;
+  options.top = "fill";
+  auto flow = hls::run_flow(source, options);
+  ASSERT_TRUE(flow.ok());
+  const AxiMap map = default_axi_map(flow.value().function);
+  AxiSlaveMemory ddr(1 << 16, {});
+  auto run = run_with_axi(flow.value(), {7}, ddr, map,
+                          AxiMode::kPerAccessCached, {});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().match) << run.value().mismatch;
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(ddr.peek_word(map.base_addr.at(0) + i * 4, 4),
+              static_cast<std::uint32_t>(7 * i + (i >> 1)));
+  }
+}
+
+}  // namespace
+}  // namespace hermes::axi

@@ -1,0 +1,184 @@
+// Unit tests for the common utility layer.
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/crc.hpp"
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "common/xml.hpp"
+
+namespace hermes {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status status = Status::Error(ErrorCode::kParseError, "bad token");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kParseError);
+  EXPECT_EQ(status.to_string(), "parse_error: bad token");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::Error(ErrorCode::kNotFound, "missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard test vector: "123456789" -> 0xCBF43926.
+  const char* data = "123456789";
+  EXPECT_EQ(crc32(data, 9), 0xCBF43926u);
+  // Empty input.
+  EXPECT_EQ(crc32(data, 0), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  Crc32 crc;
+  crc.update(text.data(), 10);
+  crc.update(text.data() + 10, text.size() - 10);
+  EXPECT_EQ(crc.value(), crc32(text.data(), text.size()));
+}
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(data), 0x29B1u);
+}
+
+TEST(Sha256, KnownVectors) {
+  // SHA-256("") and SHA-256("abc") from FIPS 180-4.
+  EXPECT_EQ(to_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const std::uint8_t abc[] = {'a', 'b', 'c'};
+  EXPECT_EQ(to_hex(sha256(abc)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, MultiBlockMessage) {
+  // 200 'a' bytes crosses multiple 64-byte blocks.
+  std::vector<std::uint8_t> data(200, 'a');
+  Sha256 incremental;
+  incremental.update(std::span(data.data(), 77));
+  incremental.update(std::span(data.data() + 77, data.size() - 77));
+  EXPECT_EQ(incremental.digest(), sha256(data));
+}
+
+TEST(Bits, MaskAndTruncate) {
+  EXPECT_EQ(bit_mask(0), 0u);
+  EXPECT_EQ(bit_mask(1), 1u);
+  EXPECT_EQ(bit_mask(32), 0xFFFFFFFFull);
+  EXPECT_EQ(bit_mask(64), ~0ULL);
+  EXPECT_EQ(truncate(0x1FF, 8), 0xFFu);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFFFFFFFF, 32), -1);
+  EXPECT_EQ(sign_extend(5, 32), 5);
+  EXPECT_EQ(sign_extend(~0ULL, 64), -1);
+}
+
+TEST(Bits, BitWidthOf) {
+  EXPECT_EQ(bit_width_of(0), 1u);
+  EXPECT_EQ(bit_width_of(1), 1u);
+  EXPECT_EQ(bit_width_of(2), 2u);
+  EXPECT_EQ(bit_width_of(255), 8u);
+  EXPECT_EQ(bit_width_of(256), 9u);
+}
+
+TEST(Bits, Parity) {
+  EXPECT_FALSE(parity(0));
+  EXPECT_TRUE(parity(1));
+  EXPECT_TRUE(parity(0x8000000000000000ull));
+  EXPECT_FALSE(parity(0x3));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next_u64() != b.next_u64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedDraws) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Strings, SplitAndTrim) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  hello \n"), "hello");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%05u", 7u), "00007");
+}
+
+TEST(Strings, JoinAndAffixes) {
+  EXPECT_EQ(join({"a", "b", "c"}, "::"), "a::b::c");
+  EXPECT_TRUE(starts_with("hermes", "her"));
+  EXPECT_FALSE(starts_with("her", "hermes"));
+  EXPECT_TRUE(ends_with("bitstream.bin", ".bin"));
+}
+
+TEST(Xml, NestedDocumentWithEscaping) {
+  XmlWriter xml;
+  xml.begin_element("lib");
+  xml.attribute("name", "a<b&\"c\"");
+  xml.begin_element("cell");
+  xml.attribute("width", std::int64_t{32});
+  xml.text("payload");
+  xml.end_element();
+  xml.end_element();
+  const std::string doc = xml.str();
+  EXPECT_NE(doc.find("a&lt;b&amp;&quot;c&quot;"), std::string::npos);
+  EXPECT_NE(doc.find("<cell width=\"32\">"), std::string::npos);
+  EXPECT_NE(doc.find("</lib>"), std::string::npos);
+}
+
+TEST(Xml, EmptyElementSelfCloses) {
+  XmlWriter xml;
+  xml.begin_element("root");
+  xml.empty_element("leaf", {{"k", "v"}});
+  xml.end_element();
+  EXPECT_NE(xml.str().find("<leaf k=\"v\"/>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,429 @@
+// End-to-end HLS flow tests: C source through parse/lower/optimize/schedule/
+// bind/FSMD, co-simulated against the IR interpreter (the correctness story
+// of the whole Bambu-style toolchain).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hls/flow.hpp"
+#include "hls/testbench.hpp"
+
+namespace hermes::hls {
+namespace {
+
+FlowOptions default_options(std::string top) {
+  FlowOptions options;
+  options.top = std::move(top);
+  options.constraints.clock_period_ns = 10.0;
+  return options;
+}
+
+TEST(HlsFlow, ScalarArithmetic) {
+  const char* source = R"(
+    int kernel(int a, int b) {
+      return (a + b) * (a - b) + 7;
+    }
+  )";
+  auto flow = run_flow(source, default_options("kernel"));
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  auto result = cosimulate(flow.value(), {25, 13}, {});
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().match) << result.value().mismatch;
+  EXPECT_EQ(result.value().return_value,
+            static_cast<std::uint64_t>((25 + 13) * (25 - 13) + 7));
+}
+
+TEST(HlsFlow, ControlFlowGcd) {
+  const char* source = R"(
+    int gcd(int a, int b) {
+      while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+      }
+      return a;
+    }
+  )";
+  auto flow = run_flow(source, default_options("gcd"));
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  auto result = cosimulate(flow.value(), {252, 105}, {});
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().match) << result.value().mismatch;
+  EXPECT_EQ(result.value().return_value, 21u);
+}
+
+TEST(HlsFlow, ArraySum) {
+  const char* source = R"(
+    int sum(int data[16], int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        acc = acc + data[i];
+      }
+      return acc;
+    }
+  )";
+  auto flow = run_flow(source, default_options("sum"));
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  std::vector<std::uint64_t> data;
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 16; ++i) {
+    data.push_back(static_cast<std::uint64_t>(i * 3 + 1));
+    expect += static_cast<std::uint64_t>(i * 3 + 1);
+  }
+  auto result = cosimulate(flow.value(), {16}, {{0, data}});
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().match) << result.value().mismatch;
+  EXPECT_EQ(result.value().return_value, expect);
+}
+
+TEST(HlsFlow, ArrayWriteback) {
+  const char* source = R"(
+    void scale(int data[8], int factor) {
+      for (int i = 0; i < 8; i = i + 1) {
+        data[i] = data[i] * factor + i;
+      }
+    }
+  )";
+  auto flow = run_flow(source, default_options("scale"));
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  std::vector<std::uint64_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto result = cosimulate(flow.value(), {5}, {{0, data}});
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().match) << result.value().mismatch;
+}
+
+TEST(HlsFlow, FunctionInlining) {
+  const char* source = R"(
+    int square(int x) { return x * x; }
+    int hypot2(int a, int b) { return square(a) + square(b); }
+  )";
+  auto flow = run_flow(source, default_options("hypot2"));
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  auto result = cosimulate(flow.value(), {3, 4}, {});
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().match) << result.value().mismatch;
+  EXPECT_EQ(result.value().return_value, 25u);
+}
+
+TEST(HlsFlow, SignedDivision) {
+  const char* source = R"(
+    int divmix(int a, int b) {
+      return a / b + a % b;
+    }
+  )";
+  auto flow = run_flow(source, default_options("divmix"));
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  // -17 as u64 two's complement of int32.
+  const std::uint64_t neg17 = 0xFFFFFFEFull;
+  auto result = cosimulate(flow.value(), {neg17, 5}, {});
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().match) << result.value().mismatch;
+}
+
+TEST(HlsFlow, RandomizedAgainstInterpreter) {
+  const char* source = R"(
+    uint32_t mix(uint32_t a, uint32_t b, uint32_t c) {
+      uint32_t x = a ^ (b << 3);
+      if (x > c) {
+        x = x - c;
+      } else {
+        x = c - x + (a & b);
+      }
+      uint32_t acc = 0;
+      for (int i = 0; i < 4; i = i + 1) {
+        acc = acc + (x >> i);
+      }
+      return acc;
+    }
+  )";
+  auto flow = run_flow(source, default_options("mix"));
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  Rng rng(42);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::uint64_t a = rng.next_u64() & 0xFFFFFFFFull;
+    const std::uint64_t b = rng.next_u64() & 0xFFFFFFFFull;
+    const std::uint64_t c = rng.next_u64() & 0xFFFFFFFFull;
+    auto result = cosimulate(flow.value(), {a, b, c}, {});
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_TRUE(result.value().match)
+        << "trial " << trial << ": " << result.value().mismatch;
+  }
+}
+
+TEST(HlsFlow, LoopUnrollingPreservesSemantics) {
+  const char* source = R"(
+    int dot(int a[8], int b[8]) {
+      int acc = 0;
+      for (int i = 0; i < 8; i = i + 1) {
+        acc = acc + a[i] * b[i];
+      }
+      return acc;
+    }
+  )";
+  FlowOptions rolled = default_options("dot");
+  FlowOptions unrolled = default_options("dot");
+  unrolled.unroll_limit = 16;
+
+  auto flow_r = run_flow(source, rolled);
+  auto flow_u = run_flow(source, unrolled);
+  ASSERT_TRUE(flow_r.ok()) << flow_r.status().to_string();
+  ASSERT_TRUE(flow_u.ok()) << flow_u.status().to_string();
+
+  std::vector<std::uint64_t> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<std::uint64_t> b = {8, 7, 6, 5, 4, 3, 2, 1};
+  auto r = cosimulate(flow_r.value(), {}, {{0, a}, {1, b}});
+  auto u = cosimulate(flow_u.value(), {}, {{0, a}, {1, b}});
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_TRUE(u.ok()) << u.status().to_string();
+  EXPECT_TRUE(r.value().match) << r.value().mismatch;
+  EXPECT_TRUE(u.value().match) << u.value().mismatch;
+  EXPECT_EQ(r.value().return_value, u.value().return_value);
+  // Unrolling must not be slower.
+  EXPECT_LE(u.value().hw_cycles, r.value().hw_cycles);
+}
+
+TEST(HlsFlow, LocalArrayWithInitializer) {
+  const char* source = R"(
+    int lookup(int idx) {
+      int table[8] = {10, 20, 30, 40, 50, 60, 70, 80};
+      return table[idx & 7];
+    }
+  )";
+  auto flow = run_flow(source, default_options("lookup"));
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    auto result = cosimulate(flow.value(), {i}, {});
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_EQ(result.value().return_value, (i + 1) * 10);
+  }
+}
+
+TEST(HlsFlow, ChainingReducesStates) {
+  const char* source = R"(
+    int chain(int a, int b, int c, int d) {
+      return ((a ^ b) | (c & d)) + (a & c);
+    }
+  )";
+  FlowOptions chained = default_options("chain");
+  FlowOptions unchained = default_options("chain");
+  unchained.constraints.allow_chaining = false;
+  auto flow_c = run_flow(source, chained);
+  auto flow_n = run_flow(source, unchained);
+  ASSERT_TRUE(flow_c.ok());
+  ASSERT_TRUE(flow_n.ok());
+  auto rc = cosimulate(flow_c.value(), {11, 22, 33, 44}, {});
+  auto rn = cosimulate(flow_n.value(), {11, 22, 33, 44}, {});
+  ASSERT_TRUE(rc.ok());
+  ASSERT_TRUE(rn.ok());
+  EXPECT_TRUE(rc.value().match);
+  EXPECT_TRUE(rn.value().match);
+  EXPECT_EQ(rc.value().return_value, rn.value().return_value);
+  EXPECT_LT(rc.value().hw_cycles, rn.value().hw_cycles);
+}
+
+TEST(HlsFlow, VerilogIsEmitted) {
+  const char* source = "int id(int x) { return x; }";
+  auto flow = run_flow(source, default_options("id"));
+  ASSERT_TRUE(flow.ok());
+  EXPECT_NE(flow.value().verilog.find("module id"), std::string::npos);
+  EXPECT_NE(flow.value().verilog.find("endmodule"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hermes::hls
+
+// Register-merging binding tests appended as a separate suite.
+namespace hermes::hls {
+namespace {
+
+FlowOptions merge_options(std::string top, bool merge) {
+  FlowOptions options;
+  options.top = std::move(top);
+  options.constraints.merge_registers = merge;
+  return options;
+}
+
+TEST(RegisterMerging, ReducesRegisterCount) {
+  // A wide expression tree creates many short-lived temporaries.
+  const char* source = R"(
+    int wide(int a, int b, int c, int d, int e, int f) {
+      int t1 = a * b;
+      int t2 = c * d;
+      int t3 = e * f;
+      int t4 = t1 + t2;
+      int t5 = t4 + t3;
+      int t6 = t5 * t1;
+      return t6 - t2;
+    }
+  )";
+  auto merged = run_flow(source, merge_options("wide", true));
+  auto unmerged = run_flow(source, merge_options("wide", false));
+  ASSERT_TRUE(merged.ok());
+  ASSERT_TRUE(unmerged.ok());
+  EXPECT_LT(merged.value().binding.stats.datapath_registers,
+            unmerged.value().binding.stats.datapath_registers);
+  EXPECT_GT(merged.value().binding.stats.merged_registers, 0u);
+  // Semantics identical.
+  for (std::uint64_t seed : {1ull, 77ull, 0xFFFFFFull}) {
+    auto rm = cosimulate(merged.value(), {seed, 3, 5, 7, 11, 13}, {});
+    auto ru = cosimulate(unmerged.value(), {seed, 3, 5, 7, 11, 13}, {});
+    ASSERT_TRUE(rm.ok());
+    ASSERT_TRUE(ru.ok());
+    EXPECT_TRUE(rm.value().match) << rm.value().mismatch;
+    EXPECT_EQ(rm.value().return_value, ru.value().return_value);
+    EXPECT_EQ(rm.value().hw_cycles, ru.value().hw_cycles)
+        << "merging must not change the schedule";
+  }
+}
+
+TEST(RegisterMerging, LoopCarriedValuesNeverMerged) {
+  // acc and i are multi-def (loop-carried): they must keep their own
+  // registers and the loop must still compute correctly.
+  const char* source = R"(
+    int acc_loop(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        int sq = i * i;
+        int cube = sq * i;
+        acc = acc + cube - sq;
+      }
+      return acc;
+    }
+  )";
+  auto flow = run_flow(source, merge_options("acc_loop", true));
+  ASSERT_TRUE(flow.ok());
+  auto result = cosimulate(flow.value(), {10}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().match) << result.value().mismatch;
+  std::int64_t expect = 0;
+  for (int i = 0; i < 10; ++i) expect += i * i * i - i * i;
+  EXPECT_EQ(result.value().return_value, static_cast<std::uint64_t>(expect));
+}
+
+TEST(RegisterMerging, DifferentialAcrossKernels) {
+  const char* sources[] = {
+      "int k1(int a[16]) { int s = 0; for (int i = 0; i < 16; i = i + 1) "
+      "{ int x = a[i] * 3; int y = x + i; s = s + y; } return s; }",
+      "int k2(int a, int b) { int p = a * b; int q = a + b; int r = p - q; "
+      "int s = r * r; return s + p; }",
+      "void k3(int a[8], int b[8]) { for (int i = 0; i < 8; i = i + 1) "
+      "{ int t = a[i] + 1; int u = t * t; b[i] = u - t; } }",
+  };
+  const char* tops[] = {"k1", "k2", "k3"};
+  Rng rng(515);
+  for (int k = 0; k < 3; ++k) {
+    auto merged = run_flow(sources[k], merge_options(tops[k], true));
+    auto unmerged = run_flow(sources[k], merge_options(tops[k], false));
+    ASSERT_TRUE(merged.ok()) << tops[k];
+    ASSERT_TRUE(unmerged.ok()) << tops[k];
+    std::map<std::size_t, std::vector<std::uint64_t>> images;
+    std::vector<std::uint64_t> args;
+    for (std::size_t m = 0; m < merged.value().function.memories().size(); ++m) {
+      const ir::MemDecl& mem = merged.value().function.memories()[m];
+      if (!mem.is_interface) continue;
+      std::vector<std::uint64_t> image(mem.depth);
+      for (auto& w : image) w = rng.next_u64() & 0xFFFF;
+      images[m] = std::move(image);
+    }
+    for (const ir::ParamDecl& p : merged.value().function.params) {
+      if (!p.is_array()) args.push_back(rng.next_u64() & 0xFF);
+    }
+    auto rm = cosimulate(merged.value(), args, images);
+    auto ru = cosimulate(unmerged.value(), args, images);
+    ASSERT_TRUE(rm.ok()) << tops[k];
+    ASSERT_TRUE(ru.ok()) << tops[k];
+    EXPECT_TRUE(rm.value().match) << tops[k] << ": " << rm.value().mismatch;
+    EXPECT_TRUE(ru.value().match) << tops[k];
+    EXPECT_EQ(rm.value().return_value, ru.value().return_value) << tops[k];
+  }
+}
+
+}  // namespace
+}  // namespace hermes::hls
+
+// Multi-dimensional array end-to-end tests appended as a separate suite.
+namespace hermes::hls {
+namespace {
+
+TEST(MultiDim, RowMajorLinearization) {
+  // grid[i][j] must land at flat index i*cols + j (interface memory layout).
+  const char* source = R"(
+    void fill(int32_t grid[3][5]) {
+      for (int i = 0; i < 3; i = i + 1) {
+        for (int j = 0; j < 5; j = j + 1) {
+          grid[i][j] = i * 100 + j;
+        }
+      }
+    }
+  )";
+  FlowOptions options;
+  options.top = "fill";
+  auto flow = run_flow(source, options);
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  EXPECT_EQ(flow.value().function.memories()[0].depth, 15u);
+  auto result = cosimulate(flow.value(), {}, {{0, std::vector<std::uint64_t>(15, 0)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().match) << result.value().mismatch;
+  ir::Interpreter interp(flow.value().function);
+  interp.set_memory(0, std::vector<std::uint64_t>(15, 0));
+  ASSERT_TRUE(interp.run({}).ok());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(interp.memory(0)[i * 5 + j],
+                static_cast<std::uint64_t>(i * 100 + j));
+    }
+  }
+}
+
+TEST(MultiDim, TransposeCosim) {
+  const char* source = R"(
+    void transpose(const int16_t in[6][4], int16_t out[4][6]) {
+      for (int i = 0; i < 6; i = i + 1) {
+        for (int j = 0; j < 4; j = j + 1) {
+          out[j][i] = in[i][j];
+        }
+      }
+    }
+  )";
+  FlowOptions options;
+  options.top = "transpose";
+  auto flow = run_flow(source, options);
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  std::vector<std::uint64_t> in(24);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = i * 7 + 1;
+  auto result = cosimulate(flow.value(), {}, {{0, in}, {1, {}}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().match) << result.value().mismatch;
+}
+
+TEST(MultiDim, ThreeDimensions) {
+  const char* source = R"(
+    int32_t sum3d(const int32_t t[2][3][4]) {
+      int32_t s = 0;
+      for (int i = 0; i < 2; i = i + 1) {
+        for (int j = 0; j < 3; j = j + 1) {
+          for (int k = 0; k < 4; k = k + 1) {
+            s = s + t[i][j][k];
+          }
+        }
+      }
+      return s;
+    }
+  )";
+  FlowOptions options;
+  options.top = "sum3d";
+  auto flow = run_flow(source, options);
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  std::vector<std::uint64_t> t(24);
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < 24; ++i) {
+    t[i] = i + 1;
+    expect += i + 1;
+  }
+  auto result = cosimulate(flow.value(), {}, {{0, t}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().match);
+  EXPECT_EQ(result.value().return_value, expect);
+}
+
+}  // namespace
+}  // namespace hermes::hls

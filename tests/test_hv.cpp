@@ -1,0 +1,490 @@
+// Tests for the XtratuM-NG hypervisor model: plan validation, time
+// partitioning, space isolation, health monitoring, ports.
+#include <gtest/gtest.h>
+
+#include "hv/hypervisor.hpp"
+
+namespace hermes::hv {
+namespace {
+
+/// A 1 ms major frame with one slot for each of two partitions on core 0.
+HvConfig two_partition_config() {
+  HvConfig config;
+  config.plan.major_frame = 1000;
+  config.plan.per_core.assign(kNumCores, {});
+  config.plan.per_core[0] = {
+      {0, 400, 0, 0},
+      {500, 400, 1, 0},
+  };
+  PartitionConfig p0;
+  p0.name = "p0";
+  p0.region = {0x0000, 0x1000};
+  p0.profile = {1000, 0, 200};  // 200 us job per 1 ms
+  PartitionConfig p1;
+  p1.name = "p1";
+  p1.region = {0x1000, 0x1000};
+  p1.profile = {1000, 0, 300};
+  config.partitions = {p0, p1};
+  return config;
+}
+
+TEST(Plan, RejectsOverlappingSlots) {
+  HvConfig config = two_partition_config();
+  config.plan.per_core[0][1].start = 200;  // overlaps the first slot
+  Hypervisor hv(config);
+  EXPECT_FALSE(hv.validate().ok());
+}
+
+TEST(Plan, RejectsSlotBeyondMajorFrame) {
+  HvConfig config = two_partition_config();
+  config.plan.per_core[0][1].duration = 900;
+  Hypervisor hv(config);
+  EXPECT_FALSE(hv.validate().ok());
+}
+
+TEST(Plan, RejectsOverlappingMpuRegions) {
+  HvConfig config = two_partition_config();
+  config.partitions[1].region = {0x0800, 0x1000};
+  Hypervisor hv(config);
+  const Status status = hv.validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kIsolationFault);
+}
+
+TEST(Plan, RejectsBadPartitionId) {
+  HvConfig config = two_partition_config();
+  config.plan.per_core[0][0].partition = 9;
+  Hypervisor hv(config);
+  EXPECT_FALSE(hv.validate().ok());
+}
+
+TEST(Scheduling, JobsCompleteWithinBudget) {
+  Hypervisor hv(two_partition_config());
+  auto stats = hv.run(10'000);  // 10 major frames
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  const auto& p = stats.value().partitions;
+  EXPECT_EQ(p[0].jobs_released, 10u);
+  EXPECT_EQ(p[0].jobs_completed, 10u);
+  EXPECT_EQ(p[0].deadline_misses, 0u);
+  EXPECT_EQ(p[1].jobs_completed, 10u);
+  EXPECT_EQ(stats.value().major_frames, 10u);
+}
+
+TEST(Scheduling, CpuTimeMatchesDemand) {
+  Hypervisor hv(two_partition_config());
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().partitions[0].cpu_time, 10u * 200u);
+  EXPECT_EQ(stats.value().partitions[1].cpu_time, 10u * 300u);
+}
+
+TEST(Scheduling, OverloadedPartitionMissesDeadlines) {
+  HvConfig config = two_partition_config();
+  config.partitions[0].profile.wcet = 600;  // needs 600 us, slot gives ~380
+  Hypervisor hv(config);
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().partitions[0].deadline_misses, 0u);
+  // Time partitioning: the overload must not disturb partition 1.
+  EXPECT_EQ(stats.value().partitions[1].deadline_misses, 0u);
+  EXPECT_EQ(stats.value().partitions[1].jobs_completed, 10u);
+}
+
+TEST(Scheduling, ContextSwitchesCounted) {
+  Hypervisor hv(two_partition_config());
+  auto stats = hv.run(5'000);
+  ASSERT_TRUE(stats.ok());
+  // Two switches per frame (p0 -> p1 -> p0 across frames).
+  EXPECT_GE(stats.value().context_switches, 9u);
+  EXPECT_LE(stats.value().context_switches, 10u);
+}
+
+TEST(Scheduling, JitterBoundedBySlotOffset) {
+  Hypervisor hv(two_partition_config());
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok());
+  // p1's job releases at frame start but its slot begins at 500 us (plus
+  // the context switch): jitter must reflect that, bounded by the offset.
+  EXPECT_GE(stats.value().partitions[1].max_jitter, 500u);
+  EXPECT_LE(stats.value().partitions[1].max_jitter, 540u);
+}
+
+TEST(Scheduling, MultiCoreParallelism) {
+  HvConfig config;
+  config.plan.major_frame = 1000;
+  config.plan.per_core.assign(kNumCores, {});
+  // Same partition budget on 4 cores simultaneously (paper: XtratuM gives
+  // "support to the four cores provided by the board, thus enabling
+  // parallel computing").
+  for (unsigned core = 0; core < kNumCores; ++core) {
+    config.plan.per_core[core] = {{0, 900, static_cast<PartitionId>(core % 2), 0}};
+  }
+  PartitionConfig p0;
+  p0.name = "heavy0";
+  p0.region = {0, 0x1000};
+  p0.profile = {1000, 0, 1500};  // needs more than one core-slot
+  PartitionConfig p1 = p0;
+  p1.name = "heavy1";
+  p1.region = {0x1000, 0x1000};
+  config.partitions = {p0, p1};
+  Hypervisor hv(config);
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok());
+  // Each partition has 2 cores x 880+ us per frame > 1500 us demand.
+  EXPECT_EQ(stats.value().partitions[0].deadline_misses, 0u);
+  EXPECT_EQ(stats.value().partitions[1].deadline_misses, 0u);
+  EXPECT_GT(stats.value().core_utilization[0], 0.5);
+}
+
+TEST(Isolation, MemoryViolationSuspendsPartition) {
+  HvConfig config = two_partition_config();
+  config.partitions[0].on_job = [](PartitionApi& api) {
+    // Deliberately touch partition 1's memory.
+    std::uint8_t byte = 0;
+    const Status status = api.read_mem(0x1800, &byte, 1);
+    EXPECT_FALSE(status.ok());
+  };
+  Hypervisor hv(config);
+  auto stats = hv.run(5'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().partitions[0].final_state, PartitionState::kSuspended);
+  ASSERT_FALSE(stats.value().hm_log.empty());
+  EXPECT_EQ(stats.value().hm_log[0].event, HmEvent::kMemoryViolation);
+  EXPECT_EQ(stats.value().hm_log[0].partition, 0u);
+  // The victim partition is unaffected.
+  EXPECT_EQ(stats.value().partitions[1].final_state, PartitionState::kNormal);
+  EXPECT_EQ(stats.value().partitions[1].deadline_misses, 0u);
+}
+
+TEST(Isolation, InRegionAccessSucceeds) {
+  HvConfig config = two_partition_config();
+  bool wrote = false;
+  config.partitions[0].on_job = [&wrote](PartitionApi& api) {
+    const std::uint32_t value = 0xABCD;
+    EXPECT_TRUE(api.write_mem(0x100, &value, 4).ok());
+    std::uint32_t readback = 0;
+    EXPECT_TRUE(api.read_mem(0x100, &readback, 4).ok());
+    EXPECT_EQ(readback, 0xABCDu);
+    wrote = true;
+  };
+  Hypervisor hv(config);
+  ASSERT_TRUE(hv.run(2'000).ok());
+  EXPECT_TRUE(wrote);
+}
+
+TEST(HealthMonitor, PartitionErrorRestarts) {
+  HvConfig config = two_partition_config();
+  int raises = 0;
+  config.partitions[0].on_job = [&raises](PartitionApi& api) {
+    if (raises++ == 0) api.raise_error();
+  };
+  Hypervisor hv(config);
+  auto stats = hv.run(5'000);
+  ASSERT_TRUE(stats.ok());
+  // Restart action: partition keeps running after the error.
+  EXPECT_EQ(stats.value().partitions[0].final_state, PartitionState::kNormal);
+  EXPECT_GE(stats.value().partitions[0].jobs_completed, 2u);
+  ASSERT_FALSE(stats.value().hm_log.empty());
+  EXPECT_EQ(stats.value().hm_log[0].action, HmAction::kRestartPartition);
+}
+
+TEST(HealthMonitor, ConfigurableAction) {
+  HvConfig config = two_partition_config();
+  config.hm_table[HmEvent::kPartitionError] = HmAction::kHaltPartition;
+  config.partitions[0].on_job = [](PartitionApi& api) { api.raise_error(); };
+  Hypervisor hv(config);
+  auto stats = hv.run(5'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().partitions[0].final_state, PartitionState::kHalted);
+}
+
+TEST(Hypercalls, NonSystemPartitionCannotManageOthers) {
+  HvConfig config = two_partition_config();
+  config.partitions[0].on_job = [](PartitionApi& api) {
+    EXPECT_FALSE(api.suspend_partition(1).ok());
+  };
+  Hypervisor hv(config);
+  auto stats = hv.run(2'000);
+  ASSERT_TRUE(stats.ok());
+  bool illegal_logged = false;
+  for (const HmLogEntry& entry : stats.value().hm_log) {
+    if (entry.event == HmEvent::kIllegalHypercall) illegal_logged = true;
+  }
+  EXPECT_TRUE(illegal_logged);
+  EXPECT_EQ(stats.value().partitions[1].final_state, PartitionState::kNormal);
+}
+
+TEST(Hypercalls, SystemPartitionManagesOthers) {
+  HvConfig config = two_partition_config();
+  config.partitions[0].system = true;
+  config.partitions[0].on_job = [](PartitionApi& api) {
+    EXPECT_TRUE(api.suspend_partition(1).ok());
+  };
+  Hypervisor hv(config);
+  auto stats = hv.run(3'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().partitions[1].final_state, PartitionState::kSuspended);
+}
+
+TEST(Ports, SamplingDeliveryAndValidity) {
+  HvConfig config = two_partition_config();
+  config.ports = {
+      {"att_out", PortKind::kSampling, PortDir::kSource, 0, 64, 8, 0},
+      {"att_in", PortKind::kSampling, PortDir::kDestination, 1, 64, 8, 1200},
+  };
+  config.channels = {{"att_out", {"att_in"}}};
+  int valid_reads = 0;
+  config.partitions[0].on_job = [](PartitionApi& api) {
+    const Message message = {1, 2, 3};
+    EXPECT_TRUE(api.write_port("att_out", message).ok());
+  };
+  config.partitions[1].on_job = [&valid_reads](PartitionApi& api) {
+    auto sample = api.read_sample("att_in");
+    ASSERT_TRUE(sample.ok());
+    if (sample.value().valid) {
+      EXPECT_EQ(sample.value().message, (Message{1, 2, 3}));
+      ++valid_reads;
+    }
+  };
+  Hypervisor hv(config);
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(valid_reads, 9);
+  EXPECT_GE(stats.value().port_messages, 10u);
+}
+
+TEST(Ports, QueuingOverflowDropsOldest) {
+  PortSwitch ports;
+  ASSERT_TRUE(ports.add_port({"q_src", PortKind::kQueuing, PortDir::kSource,
+                              0, 16, 4, 0}).ok());
+  ASSERT_TRUE(ports.add_port({"q_dst", PortKind::kQueuing, PortDir::kDestination,
+                              1, 16, 2, 0}).ok());
+  ASSERT_TRUE(ports.add_channel({"q_src", {"q_dst"}}).ok());
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ports.write(0, "q_src", {i}, i).ok());
+  }
+  // Depth 2, drop-oldest: only messages 3 and 4 remain.
+  auto m1 = ports.read_queue(1, "q_dst");
+  auto m2 = ports.read_queue(1, "q_dst");
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m1.value()[0], 3u);
+  EXPECT_EQ(m2.value()[0], 4u);
+  EXPECT_FALSE(ports.read_queue(1, "q_dst").ok());
+  EXPECT_EQ(ports.find("q_dst")->overflows, 3u);
+}
+
+TEST(Ports, OwnershipEnforced) {
+  PortSwitch ports;
+  ASSERT_TRUE(ports.add_port({"s", PortKind::kSampling, PortDir::kSource,
+                              0, 16, 4, 0}).ok());
+  const Status foreign = ports.write(1, "s", {1}, 0);
+  EXPECT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.code(), ErrorCode::kIsolationFault);
+}
+
+TEST(Ports, ChannelKindMismatchRejected) {
+  PortSwitch ports;
+  ASSERT_TRUE(ports.add_port({"s", PortKind::kSampling, PortDir::kSource,
+                              0, 16, 4, 0}).ok());
+  ASSERT_TRUE(ports.add_port({"q", PortKind::kQueuing, PortDir::kDestination,
+                              1, 16, 4, 0}).ok());
+  EXPECT_FALSE(ports.add_channel({"s", {"q"}}).ok());
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalStats) {
+  HvConfig config = two_partition_config();
+  Hypervisor hv1(config), hv2(config);
+  auto s1 = hv1.run(20'000);
+  auto s2 = hv2.run(20'000);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1.value().context_switches, s2.value().context_switches);
+  for (std::size_t i = 0; i < s1.value().partitions.size(); ++i) {
+    EXPECT_EQ(s1.value().partitions[i].cpu_time, s2.value().partitions[i].cpu_time);
+    EXPECT_EQ(s1.value().partitions[i].max_jitter,
+              s2.value().partitions[i].max_jitter);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::hv
+
+// Plan switching (XtratuM mode changes) appended as a separate suite.
+namespace hermes::hv {
+namespace {
+
+HvConfig mode_change_config() {
+  HvConfig config = two_partition_config();
+  // Plan 1: emergency mode — partition 0 gets nearly the whole frame.
+  CyclicPlan emergency;
+  emergency.major_frame = 1000;
+  emergency.per_core.assign(kNumCores, {});
+  emergency.per_core[0] = {{0, 900, 0, 0}};
+  config.extra_plans = {emergency};
+  config.partitions[0].system = true;
+  return config;
+}
+
+TEST(PlanSwitch, AppliedAtFrameBoundary) {
+  HvConfig config = mode_change_config();
+  int jobs = 0;
+  config.partitions[0].on_job = [&jobs](PartitionApi& api) {
+    if (++jobs == 3) {
+      EXPECT_TRUE(api.switch_plan(1).ok());
+    }
+  };
+  Hypervisor hv(config);
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_EQ(stats.value().plan_switches, 1u);
+  EXPECT_EQ(stats.value().final_plan, 1u);
+  // Under plan 1, partition 1 is never scheduled: its later jobs miss.
+  EXPECT_GT(stats.value().partitions[1].deadline_misses, 0u);
+  // Partition 0 keeps meeting deadlines in both modes.
+  EXPECT_EQ(stats.value().partitions[0].deadline_misses, 0u);
+}
+
+TEST(PlanSwitch, NonSystemPartitionRejected) {
+  HvConfig config = mode_change_config();
+  config.partitions[0].system = false;
+  config.partitions[0].on_job = [](PartitionApi& api) {
+    EXPECT_FALSE(api.switch_plan(1).ok());
+  };
+  Hypervisor hv(config);
+  auto stats = hv.run(3'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().plan_switches, 0u);
+  EXPECT_EQ(stats.value().final_plan, 0u);
+}
+
+TEST(PlanSwitch, UnknownPlanRejected) {
+  HvConfig config = mode_change_config();
+  config.partitions[0].on_job = [](PartitionApi& api) {
+    EXPECT_FALSE(api.switch_plan(7).ok());
+  };
+  Hypervisor hv(config);
+  auto stats = hv.run(2'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().plan_switches, 0u);
+}
+
+TEST(PlanSwitch, ExtraPlansValidatedToo) {
+  HvConfig config = mode_change_config();
+  config.extra_plans[0].per_core[0].push_back({500, 600, 0, 0});  // overlap
+  Hypervisor hv(config);
+  EXPECT_FALSE(hv.validate().ok());
+}
+
+TEST(PlanSwitch, SwitchBackAndForth) {
+  HvConfig config = mode_change_config();
+  int jobs = 0;
+  config.partitions[0].on_job = [&jobs](PartitionApi& api) {
+    ++jobs;
+    if (jobs == 2) (void)api.switch_plan(1);
+    if (jobs == 5) (void)api.switch_plan(0);
+  };
+  Hypervisor hv(config);
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().plan_switches, 2u);
+  EXPECT_EQ(stats.value().final_plan, 0u);
+  // After returning to the boot plan, partition 1 runs again.
+  EXPECT_GT(stats.value().partitions[1].jobs_completed, 0u);
+}
+
+}  // namespace
+}  // namespace hermes::hv
+
+// Multi-process guest scheduling tests appended as a separate suite.
+namespace hermes::hv {
+namespace {
+
+HvConfig guest_config() {
+  HvConfig config;
+  config.plan.major_frame = 1000;
+  config.plan.per_core.assign(kNumCores, {});
+  config.plan.per_core[0] = {{0, 900, 0, 0}};
+  PartitionConfig guest;
+  guest.name = "rtos_guest";
+  guest.region = {0, 0x1000};
+  config.partitions = {guest};
+  return config;
+}
+
+TEST(GuestProcesses, AllProcessesScheduled) {
+  HvConfig config = guest_config();
+  ProcessConfig fast{"fast", {250, 0, 50}, 2, nullptr};
+  ProcessConfig slow{"slow", {1000, 0, 300}, 1, nullptr};
+  config.partitions[0].processes = {fast, slow};
+  Hypervisor hv(config);
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  const PartitionStats& p = stats.value().partitions[0];
+  ASSERT_EQ(p.processes.size(), 2u);
+  EXPECT_EQ(p.processes[0].jobs_completed, 40u);  // 4 per frame x 10
+  EXPECT_EQ(p.processes[1].jobs_completed, 10u);
+  EXPECT_EQ(p.deadline_misses, 0u);
+  EXPECT_EQ(p.cpu_time, 40u * 50u + 10u * 300u);
+}
+
+TEST(GuestProcesses, HigherPriorityPreempts) {
+  HvConfig config = guest_config();
+  // Low-priority hog releases at t=0 and needs 600 us; high-priority task
+  // releases every 250 us with a tight 100 us deadline — it can only meet
+  // it by preempting the hog.
+  ProcessConfig urgent{"urgent", {250, 100, 20}, 5, nullptr};
+  ProcessConfig hog{"hog", {1000, 0, 600}, 1, nullptr};
+  config.partitions[0].processes = {urgent, hog};
+  Hypervisor hv(config);
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok());
+  const PartitionStats& p = stats.value().partitions[0];
+  EXPECT_EQ(p.processes[0].deadline_misses, 0u)
+      << "urgent task must preempt the hog";
+  EXPECT_EQ(p.processes[1].deadline_misses, 0u)
+      << "the hog still fits its period";
+  EXPECT_GT(p.processes[1].preemptions, 0u);
+  EXPECT_LE(p.processes[0].max_response, 100u);
+}
+
+TEST(GuestProcesses, WithoutPriorityUrgentTaskMisses) {
+  // The same workload with inverted priorities: the hog blocks the urgent
+  // task past its 100 us deadline.
+  HvConfig config = guest_config();
+  ProcessConfig urgent{"urgent", {250, 100, 20}, 1, nullptr};
+  ProcessConfig hog{"hog", {1000, 0, 600}, 5, nullptr};
+  config.partitions[0].processes = {urgent, hog};
+  Hypervisor hv(config);
+  auto stats = hv.run(10'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().partitions[0].processes[0].deadline_misses, 0u);
+}
+
+TEST(GuestProcesses, PayloadsRunPerProcess) {
+  HvConfig config = guest_config();
+  int fast_runs = 0, slow_runs = 0;
+  ProcessConfig fast{"fast", {500, 0, 50}, 2,
+                     [&fast_runs](PartitionApi&) { ++fast_runs; }};
+  ProcessConfig slow{"slow", {1000, 0, 100}, 1,
+                     [&slow_runs](PartitionApi&) { ++slow_runs; }};
+  config.partitions[0].processes = {fast, slow};
+  Hypervisor hv(config);
+  ASSERT_TRUE(hv.run(5'000).ok());
+  EXPECT_EQ(fast_runs, 10);
+  EXPECT_EQ(slow_runs, 5);
+}
+
+TEST(GuestProcesses, ShorthandStillWorks) {
+  // The single-profile shorthand is one priority-0 process.
+  HvConfig config = guest_config();
+  config.partitions[0].profile = {1000, 0, 200};
+  Hypervisor hv(config);
+  auto stats = hv.run(3'000);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().partitions[0].processes.size(), 1u);
+  EXPECT_EQ(stats.value().partitions[0].processes[0].jobs_completed, 3u);
+}
+
+}  // namespace
+}  // namespace hermes::hv

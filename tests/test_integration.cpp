@@ -1,0 +1,238 @@
+// Cross-subsystem integration scenarios: the system-level behaviours the
+// paper motivates but no single module test covers.
+#include <gtest/gtest.h>
+
+#include "apps/compress.hpp"
+#include "apps/kernels.hpp"
+#include "apps/vbn.hpp"
+#include "boot/bl.hpp"
+#include "common/rng.hpp"
+#include "hls/flow.hpp"
+#include "hls/testbench.hpp"
+#include "hv/hypervisor.hpp"
+#include "nxmap/flow.hpp"
+
+namespace hermes {
+namespace {
+
+/// "they introduce the possibility of in-flight reconfiguration" (Sec. I):
+/// boot with accelerator A in the load list, then upload accelerator B over
+/// SpaceWire and reprogram the eFPGA matrix in flight.
+TEST(Integration, InFlightReconfiguration) {
+  // Two different accelerators -> two different verified bitstreams.
+  const nx::NxDevice device = nx::make_device(hls::ng_ultra());
+  auto make_bitstream = [&](const char* source, const char* top) {
+    hls::FlowOptions options;
+    options.top = top;
+    auto flow = hls::run_flow(source, options);
+    EXPECT_TRUE(flow.ok());
+    auto backend = nx::run_backend(flow.value().fsmd.module, device);
+    EXPECT_TRUE(backend.ok());
+    return backend.value().bitstream;
+  };
+  const auto bitstream_a =
+      make_bitstream("int a1(int x) { return x * 3 + 1; }", "a1");
+  const auto bitstream_b = make_bitstream(
+      "int a2(int x, int y) { return (x ^ y) + (x & y) * 2; }", "a2");
+  ASSERT_NE(bitstream_a, bitstream_b);
+
+  // Boot with accelerator A.
+  boot::BootEnvironment env;
+  boot::LoadList list;
+  boot::LoadEntry bs;
+  bs.kind = boot::LoadKind::kBitstream;
+  bs.name = "accel_a";
+  boot::LoadEntry bl2;
+  bl2.kind = boot::LoadKind::kBl2;
+  bl2.name = "bl2";
+  bl2.dest_addr = boot::MemoryMap::kDdrBase;
+  list.entries = {bs, bl2};
+  std::vector<std::uint8_t> bl2_image(1024, 0x42);
+  boot::stage_boot_media(env, std::vector<std::uint8_t>(4096, 0x11), list,
+                         {bitstream_a, bl2_image});
+  const boot::BootResult result = boot::run_boot_chain(env);
+  ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+  ASSERT_TRUE(env.soc.efpga_programmed);
+  const unsigned frames_a = env.soc.efpga_frames;
+
+  // In flight: fetch accelerator B over SpaceWire and reprogram.
+  env.spacewire.host_object("accel_b", bitstream_b);
+  std::uint64_t link_cycles = 0;
+  auto fetched = env.spacewire.fetch("accel_b", link_cycles);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_TRUE(env.soc.program_efpga(fetched.value()).ok());
+  EXPECT_NE(env.soc.efpga_frames, frames_a);
+
+  // A corrupted in-flight update must be rejected, keeping the old config.
+  auto corrupted = bitstream_a;
+  corrupted[corrupted.size() / 2] ^= 0xFF;
+  const unsigned frames_b = env.soc.efpga_frames;
+  EXPECT_FALSE(env.soc.program_efpga(corrupted).ok());
+  EXPECT_EQ(env.soc.efpga_frames, frames_b) << "failed update must not disturb"
+                                               " the active configuration";
+}
+
+/// Hybrid CPU-FPGA processing (Sec. I motivation): the VBN partition
+/// offloads edge extraction to the Sobel accelerator, then computes the
+/// centroid on the edge map — results must agree with the pure-software path.
+TEST(Integration, HybridVbnWithSobelAccelerator) {
+  constexpr unsigned kW = 16, kH = 16;
+  Rng rng(314);
+  const apps::VbnFrame frame = apps::render_frame(kW, kH, 9.5, 6.5, 1.8, 8, rng);
+
+  // Software path: centroid on the raw frame.
+  const apps::VbnMeasurement sw = apps::measure_centroid(frame, 60);
+  ASSERT_TRUE(sw.valid);
+
+  // Hardware path: Sobel on the accelerator, centroid on the edge map.
+  const apps::KernelSpec spec = apps::sobel_kernel(kW, kH);
+  hls::FlowOptions options;
+  options.top = spec.name;
+  auto flow = hls::run_flow(spec.source, options);
+  ASSERT_TRUE(flow.ok());
+  std::vector<std::uint64_t> image(frame.pixels.begin(), frame.pixels.end());
+  auto cosim = hls::cosimulate(flow.value(), {}, {{0, image}, {1, {}}});
+  ASSERT_TRUE(cosim.ok());
+  ASSERT_TRUE(cosim.value().match) << cosim.value().mismatch;
+
+  ir::Interpreter interp(flow.value().function);
+  interp.set_memory(0, image);
+  ASSERT_TRUE(interp.run({}).ok());
+  apps::VbnFrame edges;
+  edges.width = kW;
+  edges.height = kH;
+  for (std::uint64_t pixel : interp.memory(1)) {
+    edges.pixels.push_back(static_cast<std::uint8_t>(pixel));
+  }
+  const apps::VbnMeasurement hw = apps::measure_centroid(edges, 60);
+  ASSERT_TRUE(hw.valid);
+  // The edge ring is centered on the blob: both estimators agree closely.
+  EXPECT_NEAR(hw.x, sw.x, 1.0);
+  EXPECT_NEAR(hw.y, sw.y, 1.0);
+}
+
+/// Sensor-data downlink (Sec. I motivation: "sensor data to be pre-processed
+/// and compressed before transmission"): a producer partition compresses
+/// telemetry and ships it through a queuing port; the downlink partition
+/// decodes it losslessly.
+TEST(Integration, CompressedTelemetryOverPartitionPort) {
+  using namespace hermes::hv;
+  // Telemetry: a smooth sensor ramp, compressed per 64-sample packet.
+  auto telemetry = std::make_shared<std::vector<std::uint16_t>>();
+  for (int i = 0; i < 256; ++i) {
+    telemetry->push_back(static_cast<std::uint16_t>(3000 + i * 2 + (i % 3)));
+  }
+  auto received = std::make_shared<std::vector<std::uint16_t>>();
+  auto cursor = std::make_shared<std::size_t>(0);
+
+  HvConfig config;
+  config.plan.major_frame = 1000;
+  config.plan.per_core.assign(kNumCores, {});
+  config.plan.per_core[0] = {{0, 400, 0, 0}, {500, 400, 1, 0}};
+  PartitionConfig producer;
+  producer.name = "sensor";
+  producer.region = {0x0000, 0x1000};
+  producer.profile = {1000, 0, 100};
+  producer.on_job = [telemetry, cursor](PartitionApi& api) {
+    if (*cursor + 64 > telemetry->size()) return;
+    const std::span<const std::uint16_t> packet(telemetry->data() + *cursor, 64);
+    *cursor += 64;
+    apps::CompressStats stats;
+    const auto encoded = apps::rice_encode(packet, {}, &stats);
+    EXPECT_GT(stats.ratio, 1.5) << "smooth telemetry must compress";
+    EXPECT_TRUE(api.write_port("tm_src", encoded).ok());
+  };
+  PartitionConfig downlink;
+  downlink.name = "downlink";
+  downlink.region = {0x1000, 0x1000};
+  downlink.profile = {1000, 0, 100};
+  downlink.on_job = [received](PartitionApi& api) {
+    auto message = api.read_queue("tm_dst");
+    if (!message.ok()) return;
+    auto decoded = apps::rice_decode(message.value(), 64, {});
+    ASSERT_TRUE(decoded.ok());
+    received->insert(received->end(), decoded.value().begin(),
+                     decoded.value().end());
+  };
+  config.partitions = {producer, downlink};
+  config.ports = {
+      {"tm_src", PortKind::kQueuing, PortDir::kSource, 0, 256, 8, 0},
+      {"tm_dst", PortKind::kQueuing, PortDir::kDestination, 1, 256, 8, 0},
+  };
+  config.channels = {{"tm_src", {"tm_dst"}}};
+
+  Hypervisor hv(config);
+  auto stats = hv.run(6'000);
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  // 4 packets produced (256/64); downlink lags one frame.
+  ASSERT_GE(received->size(), 3u * 64u);
+  for (std::size_t i = 0; i < received->size(); ++i) {
+    EXPECT_EQ((*received)[i], (*telemetry)[i]) << "sample " << i;
+  }
+}
+
+/// Full stack: HLS -> NXmap bitstream -> staged boot media -> BL1 programs
+/// the eFPGA and deploys the flight software -> the hypervisor plan starts
+/// on the booted SoC (cores released).
+TEST(Integration, FullStackBootThenHypervisor) {
+  // 1. Synthesize and place/route the accelerator.
+  hls::FlowOptions options;
+  options.top = "f";
+  auto flow = hls::run_flow(
+      "int f(int a[8]) { int s = 0; for (int i = 0; i < 8; i = i + 1) "
+      "{ s = s + a[i]; } return s; }", options);
+  ASSERT_TRUE(flow.ok());
+  const nx::NxDevice device = nx::make_device(hls::ng_ultra());
+  auto backend = nx::run_backend(flow.value().fsmd.module, device);
+  ASSERT_TRUE(backend.ok());
+
+  // 2. Boot.
+  boot::BootEnvironment env;
+  boot::LoadList list;
+  boot::LoadEntry sw;
+  sw.kind = boot::LoadKind::kSoftware;
+  sw.name = "flightsw";
+  sw.dest_addr = boot::MemoryMap::kDdrBase + 0x10000;
+  boot::LoadEntry bs;
+  bs.kind = boot::LoadKind::kBitstream;
+  bs.name = "accel";
+  boot::LoadEntry bl2;
+  bl2.kind = boot::LoadKind::kBl2;
+  bl2.name = "bl2";
+  bl2.dest_addr = boot::MemoryMap::kDdrBase;
+  list.entries = {sw, bs, bl2};
+  boot::stage_boot_media(env, std::vector<std::uint8_t>(8192, 0xB1), list,
+                         {std::vector<std::uint8_t>(4096, 0xA0),
+                          backend.value().bitstream,
+                          std::vector<std::uint8_t>(2048, 0xB2)});
+  const boot::BootResult boot_result = boot::run_boot_chain(env);
+  ASSERT_TRUE(boot_result.status.ok()) << boot_result.status.to_string();
+  ASSERT_EQ(boot_result.reached, boot::BootStage::kApplication);
+  ASSERT_EQ(env.soc.cores_released, hv::kNumCores)
+      << "BL2 must have released all four R52 cores for the hypervisor";
+  ASSERT_TRUE(env.soc.efpga_programmed);
+
+  // 3. The hypervisor plan uses exactly the released cores.
+  hv::HvConfig config;
+  config.plan.major_frame = 1000;
+  config.plan.per_core.assign(env.soc.cores_released, {});
+  for (unsigned core = 0; core < env.soc.cores_released; ++core) {
+    config.plan.per_core[core] = {{0, 900, 0, core}};
+  }
+  hv::PartitionConfig app;
+  app.name = "flightsw";
+  app.region = {0, 0x10000};
+  // Demands more than any single core's slot provides: only with all four
+  // released cores does the job stream fit its period.
+  app.profile = {1000, 0, 3000};
+  config.partitions = {app};
+  hv::Hypervisor hypervisor(config);
+  auto stats = hypervisor.run(5'000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().partitions[0].deadline_misses, 0u);
+  EXPECT_GT(stats.value().core_utilization[3], 0.0)
+      << "the fourth core must actually run the partition";
+}
+
+}  // namespace
+}  // namespace hermes

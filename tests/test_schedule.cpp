@@ -1,0 +1,201 @@
+// Property tests on the HLS scheduler: for every kernel and constraint
+// combination, the produced schedule must satisfy the hazard-separation
+// rules documented in hls/schedule.cpp and the resource limits. This is a
+// independent re-check of the rules the FSMD generator relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/kernels.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/typecheck.hpp"
+#include "hls/schedule.hpp"
+#include "ir/lower.hpp"
+#include "ir/passes.hpp"
+
+namespace hermes::hls {
+namespace {
+
+struct ScheduleCase {
+  std::string name;
+  bool chaining;
+  unsigned multipliers;
+};
+
+void check_schedule(const ir::Function& function, const TechLibrary& lib,
+                    const Constraints& constraints, const Schedule& schedule) {
+  ASSERT_EQ(schedule.blocks.size(), function.num_blocks());
+  const std::vector<bool> needs_reg = regs_needing_registers(function);
+
+  for (ir::BlockId b = 0; b < function.num_blocks(); ++b) {
+    const ir::Block& block = function.block(b);
+    const BlockSchedule& bs = schedule.blocks[b];
+    ASSERT_EQ(bs.slots.size(), block.instrs.size());
+    const ir::BlockCdfg cdfg = ir::build_block_cdfg(function, b);
+
+    std::map<unsigned, unsigned> muls_in_state, divs_in_state;
+    std::map<std::pair<std::uint64_t, unsigned>, unsigned> ports_in_state;
+
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+      const ir::Instr& instr = block.instrs[i];
+      const InstrSlot& slot = bs.slots[i];
+      if (slot.is_const_wire) {
+        EXPECT_EQ(instr.op, ir::Op::kConst);
+        continue;
+      }
+      // Range containment.
+      EXPECT_GE(slot.start, bs.entry_state) << "b" << b << " i" << i;
+      EXPECT_LE(slot.end, bs.exit_state) << "b" << b << " i" << i;
+      EXPECT_LE(slot.start, slot.end);
+      EXPECT_GE(slot.write_state, slot.start);
+
+      // Resource occupancy.
+      const FuClass fu = fu_class_of(instr.op);
+      if (instr.op == ir::Op::kLoad || instr.op == ir::Op::kStore) {
+        ++ports_in_state[{instr.imm, slot.start}];
+      } else if (fu == FuClass::kMultiplier && constraints.enforce_resources) {
+        for (unsigned s = slot.start; s <= slot.end; ++s) ++muls_in_state[s];
+      } else if (fu == FuClass::kDivider && constraints.enforce_resources) {
+        for (unsigned s = slot.start; s <= slot.end; ++s) ++divs_in_state[s];
+      }
+
+      // Hazard rules against every dependence edge.
+      for (const ir::Dep& dep : cdfg.nodes[i].deps) {
+        const InstrSlot& p = bs.slots[dep.on];
+        const ir::Instr& pi = block.instrs[dep.on];
+        if (p.is_const_wire) continue;
+        const OpCharacterization pch =
+            lib.characterize(pi.op, pi.type.bits, constraints.clock_period_ns);
+        const OpCharacterization cch =
+            lib.characterize(instr.op, instr.type.bits,
+                             constraints.clock_period_ns);
+        switch (dep.kind) {
+          case ir::DepKind::kRaw: {
+            const bool chain_legal = constraints.allow_chaining &&
+                                     pch.chain_out && cch.chain_in &&
+                                     pi.op != ir::Op::kConst;
+            if (chain_legal || pi.op == ir::Op::kConst ||
+                pi.op == ir::Op::kCopy) {
+              EXPECT_GE(slot.start, p.write_state)
+                  << "RAW b" << b << " " << dep.on << "->" << i;
+            } else {
+              EXPECT_GE(slot.start, p.write_state + 1)
+                  << "RAW (no chain) b" << b << " " << dep.on << "->" << i;
+            }
+            break;
+          }
+          case ir::DepKind::kWar:
+            EXPECT_GE(slot.start, p.end)
+                << "WAR b" << b << " " << dep.on << "->" << i;
+            break;
+          case ir::DepKind::kWaw:
+            EXPECT_GE(slot.start, p.write_state + 1)
+                << "WAW b" << b << " " << dep.on << "->" << i;
+            break;
+          case ir::DepKind::kMemRaw:
+            EXPECT_GE(slot.start, p.start)
+                << "MemRAW b" << b << " " << dep.on << "->" << i;
+            break;
+          case ir::DepKind::kMemWar:
+          case ir::DepKind::kMemWaw:
+            EXPECT_GE(slot.start, p.start + 1)
+                << "MemWAR/WAW b" << b << " " << dep.on << "->" << i;
+            break;
+          case ir::DepKind::kControl:
+            EXPECT_GE(slot.start, p.end)
+                << "Control b" << b << " " << dep.on << "->" << i;
+            break;
+        }
+      }
+    }
+
+    if (constraints.enforce_resources) {
+      for (const auto& [state, count] : muls_in_state) {
+        EXPECT_LE(count, constraints.multipliers) << "state " << state;
+      }
+      for (const auto& [state, count] : divs_in_state) {
+        EXPECT_LE(count, constraints.dividers) << "state " << state;
+      }
+    }
+    for (const auto& [key, count] : ports_in_state) {
+      EXPECT_LE(count, 2u) << "memory " << key.first << " state " << key.second;
+    }
+  }
+}
+
+class ScheduleProperties
+    : public ::testing::TestWithParam<std::tuple<int, bool, unsigned>> {};
+
+TEST_P(ScheduleProperties, HazardAndResourceRulesHold) {
+  const auto [kernel_index, chaining, multipliers] = GetParam();
+  static const std::vector<apps::KernelSpec> kernels = apps::all_kernels();
+  const apps::KernelSpec& spec = kernels[kernel_index % kernels.size()];
+
+  auto program = fe::parse(spec.source);
+  ASSERT_TRUE(program.ok()) << program.status().to_string();
+  ASSERT_TRUE(fe::typecheck(program.value()).ok());
+  auto lowered = ir::lower(program.value(), spec.name, {});
+  ASSERT_TRUE(lowered.ok()) << lowered.status().to_string();
+  ir::Function function = lowered.take();
+  ir::run_pipeline(function);
+
+  Constraints constraints;
+  constraints.allow_chaining = chaining;
+  constraints.multipliers = multipliers;
+  const TechLibrary lib(ng_ultra());
+  auto scheduled = schedule(function, lib, constraints);
+  ASSERT_TRUE(scheduled.ok()) << scheduled.status().to_string();
+  check_schedule(function, lib, constraints, scheduled.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsByOptions, ScheduleProperties,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Bool(),
+                       ::testing::Values(1u, 2u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool, unsigned>>& info) {
+      static const std::vector<apps::KernelSpec> kernels = apps::all_kernels();
+      return kernels[std::get<0>(info.param) % kernels.size()].name + "_" +
+             (std::get<1>(info.param) ? "chain" : "nochain") + "_mul" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ScheduleStates, TighterClockNeedsMoreStates) {
+  const apps::KernelSpec spec = apps::fir_kernel();
+  auto program = fe::parse(spec.source);
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(fe::typecheck(program.value()).ok());
+  auto lowered = ir::lower(program.value(), spec.name, {});
+  ASSERT_TRUE(lowered.ok());
+  ir::Function function = lowered.take();
+  ir::run_pipeline(function);
+
+  const TechLibrary lib(ng_ultra());
+  unsigned previous = 0;
+  for (double period : {20.0, 10.0, 4.0, 2.0}) {
+    Constraints constraints;
+    constraints.clock_period_ns = period;
+    auto scheduled = schedule(function, lib, constraints);
+    ASSERT_TRUE(scheduled.ok());
+    EXPECT_GE(scheduled.value().num_states, previous)
+        << "period " << period << " ns";
+    previous = scheduled.value().num_states;
+  }
+}
+
+TEST(ScheduleStates, SerialDividerDominatesLatency) {
+  auto program = fe::parse("int f(int a, int b) { return a / b; }");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(fe::typecheck(program.value()).ok());
+  auto lowered = ir::lower(program.value(), "f", {});
+  ASSERT_TRUE(lowered.ok());
+  ir::Function function = lowered.take();
+  ir::run_pipeline(function);
+  const TechLibrary lib(ng_ultra());
+  auto scheduled = schedule(function, lib, {});
+  ASSERT_TRUE(scheduled.ok());
+  // The iterative 32-bit divider takes ~33 states on its own.
+  EXPECT_GE(scheduled.value().num_states, 33u);
+}
+
+}  // namespace
+}  // namespace hermes::hls
