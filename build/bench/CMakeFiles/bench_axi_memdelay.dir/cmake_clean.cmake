@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_axi_memdelay.dir/bench_axi_memdelay.cpp.o"
+  "CMakeFiles/bench_axi_memdelay.dir/bench_axi_memdelay.cpp.o.d"
+  "bench_axi_memdelay"
+  "bench_axi_memdelay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_axi_memdelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_speed_power.dir/bench_claim_speed_power.cpp.o"
+  "CMakeFiles/bench_claim_speed_power.dir/bench_claim_speed_power.cpp.o.d"
+  "bench_claim_speed_power"
+  "bench_claim_speed_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_speed_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

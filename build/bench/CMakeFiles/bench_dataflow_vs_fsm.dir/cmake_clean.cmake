@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataflow_vs_fsm.dir/bench_dataflow_vs_fsm.cpp.o"
+  "CMakeFiles/bench_dataflow_vs_fsm.dir/bench_dataflow_vs_fsm.cpp.o.d"
+  "bench_dataflow_vs_fsm"
+  "bench_dataflow_vs_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataflow_vs_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

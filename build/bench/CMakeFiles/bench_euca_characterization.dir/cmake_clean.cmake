@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_euca_characterization.dir/bench_euca_characterization.cpp.o"
+  "CMakeFiles/bench_euca_characterization.dir/bench_euca_characterization.cpp.o.d"
+  "bench_euca_characterization"
+  "bench_euca_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_euca_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

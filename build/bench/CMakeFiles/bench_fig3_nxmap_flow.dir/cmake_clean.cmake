@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_nxmap_flow.dir/bench_fig3_nxmap_flow.cpp.o"
+  "CMakeFiles/bench_fig3_nxmap_flow.dir/bench_fig3_nxmap_flow.cpp.o.d"
+  "bench_fig3_nxmap_flow"
+  "bench_fig3_nxmap_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_nxmap_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

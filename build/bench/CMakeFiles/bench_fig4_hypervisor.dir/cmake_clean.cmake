@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hypervisor.dir/bench_fig4_hypervisor.cpp.o"
+  "CMakeFiles/bench_fig4_hypervisor.dir/bench_fig4_hypervisor.cpp.o.d"
+  "bench_fig4_hypervisor"
+  "bench_fig4_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

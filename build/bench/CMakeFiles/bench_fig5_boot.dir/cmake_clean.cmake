@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_boot.dir/bench_fig5_boot.cpp.o"
+  "CMakeFiles/bench_fig5_boot.dir/bench_fig5_boot.cpp.o.d"
+  "bench_fig5_boot"
+  "bench_fig5_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

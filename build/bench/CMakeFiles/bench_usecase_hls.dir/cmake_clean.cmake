@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecase_hls.dir/bench_usecase_hls.cpp.o"
+  "CMakeFiles/bench_usecase_hls.dir/bench_usecase_hls.cpp.o.d"
+  "bench_usecase_hls"
+  "bench_usecase_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecase_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

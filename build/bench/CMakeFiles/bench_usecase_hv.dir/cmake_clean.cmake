@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecase_hv.dir/bench_usecase_hv.cpp.o"
+  "CMakeFiles/bench_usecase_hv.dir/bench_usecase_hv.cpp.o.d"
+  "bench_usecase_hv"
+  "bench_usecase_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecase_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_chain.dir/boot_chain.cpp.o"
+  "CMakeFiles/boot_chain.dir/boot_chain.cpp.o.d"
+  "boot_chain"
+  "boot_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

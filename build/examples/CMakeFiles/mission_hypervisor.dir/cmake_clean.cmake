@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_hypervisor.dir/mission_hypervisor.cpp.o"
+  "CMakeFiles/mission_hypervisor.dir/mission_hypervisor.cpp.o.d"
+  "mission_hypervisor"
+  "mission_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiation_hardening.dir/radiation_hardening.cpp.o"
+  "CMakeFiles/radiation_hardening.dir/radiation_hardening.cpp.o.d"
+  "radiation_hardening"
+  "radiation_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiation_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

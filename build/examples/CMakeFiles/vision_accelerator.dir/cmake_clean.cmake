@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_accelerator.dir/vision_accelerator.cpp.o"
+  "CMakeFiles/vision_accelerator.dir/vision_accelerator.cpp.o.d"
+  "vision_accelerator"
+  "vision_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("fault")
+subdirs("hw")
+subdirs("frontend")
+subdirs("ir")
+subdirs("hls")
+subdirs("axi")
+subdirs("nxmap")
+subdirs("dataflow")
+subdirs("hv")
+subdirs("boot")
+subdirs("apps")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/aocs.cpp" "src/apps/CMakeFiles/hermes_apps.dir/aocs.cpp.o" "gcc" "src/apps/CMakeFiles/hermes_apps.dir/aocs.cpp.o.d"
+  "/root/repo/src/apps/ccsds.cpp" "src/apps/CMakeFiles/hermes_apps.dir/ccsds.cpp.o" "gcc" "src/apps/CMakeFiles/hermes_apps.dir/ccsds.cpp.o.d"
+  "/root/repo/src/apps/compress.cpp" "src/apps/CMakeFiles/hermes_apps.dir/compress.cpp.o" "gcc" "src/apps/CMakeFiles/hermes_apps.dir/compress.cpp.o.d"
+  "/root/repo/src/apps/eor.cpp" "src/apps/CMakeFiles/hermes_apps.dir/eor.cpp.o" "gcc" "src/apps/CMakeFiles/hermes_apps.dir/eor.cpp.o.d"
+  "/root/repo/src/apps/kernels.cpp" "src/apps/CMakeFiles/hermes_apps.dir/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/hermes_apps.dir/kernels.cpp.o.d"
+  "/root/repo/src/apps/vbn.cpp" "src/apps/CMakeFiles/hermes_apps.dir/vbn.cpp.o" "gcc" "src/apps/CMakeFiles/hermes_apps.dir/vbn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_apps.dir/aocs.cpp.o"
+  "CMakeFiles/hermes_apps.dir/aocs.cpp.o.d"
+  "CMakeFiles/hermes_apps.dir/ccsds.cpp.o"
+  "CMakeFiles/hermes_apps.dir/ccsds.cpp.o.d"
+  "CMakeFiles/hermes_apps.dir/compress.cpp.o"
+  "CMakeFiles/hermes_apps.dir/compress.cpp.o.d"
+  "CMakeFiles/hermes_apps.dir/eor.cpp.o"
+  "CMakeFiles/hermes_apps.dir/eor.cpp.o.d"
+  "CMakeFiles/hermes_apps.dir/kernels.cpp.o"
+  "CMakeFiles/hermes_apps.dir/kernels.cpp.o.d"
+  "CMakeFiles/hermes_apps.dir/vbn.cpp.o"
+  "CMakeFiles/hermes_apps.dir/vbn.cpp.o.d"
+  "libhermes_apps.a"
+  "libhermes_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axi/cache.cpp" "src/axi/CMakeFiles/hermes_axi.dir/cache.cpp.o" "gcc" "src/axi/CMakeFiles/hermes_axi.dir/cache.cpp.o.d"
+  "/root/repo/src/axi/checker.cpp" "src/axi/CMakeFiles/hermes_axi.dir/checker.cpp.o" "gcc" "src/axi/CMakeFiles/hermes_axi.dir/checker.cpp.o.d"
+  "/root/repo/src/axi/hls_axi.cpp" "src/axi/CMakeFiles/hermes_axi.dir/hls_axi.cpp.o" "gcc" "src/axi/CMakeFiles/hermes_axi.dir/hls_axi.cpp.o.d"
+  "/root/repo/src/axi/master.cpp" "src/axi/CMakeFiles/hermes_axi.dir/master.cpp.o" "gcc" "src/axi/CMakeFiles/hermes_axi.dir/master.cpp.o.d"
+  "/root/repo/src/axi/protocol.cpp" "src/axi/CMakeFiles/hermes_axi.dir/protocol.cpp.o" "gcc" "src/axi/CMakeFiles/hermes_axi.dir/protocol.cpp.o.d"
+  "/root/repo/src/axi/slave_memory.cpp" "src/axi/CMakeFiles/hermes_axi.dir/slave_memory.cpp.o" "gcc" "src/axi/CMakeFiles/hermes_axi.dir/slave_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hermes_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hermes_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hermes_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hermes_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

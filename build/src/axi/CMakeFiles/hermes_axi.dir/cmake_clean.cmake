@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_axi.dir/cache.cpp.o"
+  "CMakeFiles/hermes_axi.dir/cache.cpp.o.d"
+  "CMakeFiles/hermes_axi.dir/checker.cpp.o"
+  "CMakeFiles/hermes_axi.dir/checker.cpp.o.d"
+  "CMakeFiles/hermes_axi.dir/hls_axi.cpp.o"
+  "CMakeFiles/hermes_axi.dir/hls_axi.cpp.o.d"
+  "CMakeFiles/hermes_axi.dir/master.cpp.o"
+  "CMakeFiles/hermes_axi.dir/master.cpp.o.d"
+  "CMakeFiles/hermes_axi.dir/protocol.cpp.o"
+  "CMakeFiles/hermes_axi.dir/protocol.cpp.o.d"
+  "CMakeFiles/hermes_axi.dir/slave_memory.cpp.o"
+  "CMakeFiles/hermes_axi.dir/slave_memory.cpp.o.d"
+  "libhermes_axi.a"
+  "libhermes_axi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_axi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boot/bl.cpp" "src/boot/CMakeFiles/hermes_boot.dir/bl.cpp.o" "gcc" "src/boot/CMakeFiles/hermes_boot.dir/bl.cpp.o.d"
+  "/root/repo/src/boot/flash.cpp" "src/boot/CMakeFiles/hermes_boot.dir/flash.cpp.o" "gcc" "src/boot/CMakeFiles/hermes_boot.dir/flash.cpp.o.d"
+  "/root/repo/src/boot/loadlist.cpp" "src/boot/CMakeFiles/hermes_boot.dir/loadlist.cpp.o" "gcc" "src/boot/CMakeFiles/hermes_boot.dir/loadlist.cpp.o.d"
+  "/root/repo/src/boot/soc.cpp" "src/boot/CMakeFiles/hermes_boot.dir/soc.cpp.o" "gcc" "src/boot/CMakeFiles/hermes_boot.dir/soc.cpp.o.d"
+  "/root/repo/src/boot/spacewire.cpp" "src/boot/CMakeFiles/hermes_boot.dir/spacewire.cpp.o" "gcc" "src/boot/CMakeFiles/hermes_boot.dir/spacewire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/hermes_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/nxmap/CMakeFiles/hermes_nxmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hermes_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hermes_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hermes_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hermes_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

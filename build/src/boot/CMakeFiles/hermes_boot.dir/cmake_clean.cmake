@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_boot.dir/bl.cpp.o"
+  "CMakeFiles/hermes_boot.dir/bl.cpp.o.d"
+  "CMakeFiles/hermes_boot.dir/flash.cpp.o"
+  "CMakeFiles/hermes_boot.dir/flash.cpp.o.d"
+  "CMakeFiles/hermes_boot.dir/loadlist.cpp.o"
+  "CMakeFiles/hermes_boot.dir/loadlist.cpp.o.d"
+  "CMakeFiles/hermes_boot.dir/soc.cpp.o"
+  "CMakeFiles/hermes_boot.dir/soc.cpp.o.d"
+  "CMakeFiles/hermes_boot.dir/spacewire.cpp.o"
+  "CMakeFiles/hermes_boot.dir/spacewire.cpp.o.d"
+  "libhermes_boot.a"
+  "libhermes_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

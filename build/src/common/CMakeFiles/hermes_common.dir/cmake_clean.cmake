@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_common.dir/crc.cpp.o"
+  "CMakeFiles/hermes_common.dir/crc.cpp.o.d"
+  "CMakeFiles/hermes_common.dir/sha256.cpp.o"
+  "CMakeFiles/hermes_common.dir/sha256.cpp.o.d"
+  "CMakeFiles/hermes_common.dir/status.cpp.o"
+  "CMakeFiles/hermes_common.dir/status.cpp.o.d"
+  "CMakeFiles/hermes_common.dir/strings.cpp.o"
+  "CMakeFiles/hermes_common.dir/strings.cpp.o.d"
+  "CMakeFiles/hermes_common.dir/xml.cpp.o"
+  "CMakeFiles/hermes_common.dir/xml.cpp.o.d"
+  "CMakeFiles/hermes_common.dir/xml_parse.cpp.o"
+  "CMakeFiles/hermes_common.dir/xml_parse.cpp.o.d"
+  "libhermes_common.a"
+  "libhermes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/taskgraph.cpp" "src/dataflow/CMakeFiles/hermes_dataflow.dir/taskgraph.cpp.o" "gcc" "src/dataflow/CMakeFiles/hermes_dataflow.dir/taskgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hermes_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hermes_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hermes_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hermes_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

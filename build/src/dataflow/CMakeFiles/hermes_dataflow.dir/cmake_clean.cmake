@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_dataflow.dir/taskgraph.cpp.o"
+  "CMakeFiles/hermes_dataflow.dir/taskgraph.cpp.o.d"
+  "libhermes_dataflow.a"
+  "libhermes_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

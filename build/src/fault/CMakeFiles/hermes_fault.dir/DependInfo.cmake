@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/edac.cpp" "src/fault/CMakeFiles/hermes_fault.dir/edac.cpp.o" "gcc" "src/fault/CMakeFiles/hermes_fault.dir/edac.cpp.o.d"
+  "/root/repo/src/fault/scrub_memory.cpp" "src/fault/CMakeFiles/hermes_fault.dir/scrub_memory.cpp.o" "gcc" "src/fault/CMakeFiles/hermes_fault.dir/scrub_memory.cpp.o.d"
+  "/root/repo/src/fault/seu.cpp" "src/fault/CMakeFiles/hermes_fault.dir/seu.cpp.o" "gcc" "src/fault/CMakeFiles/hermes_fault.dir/seu.cpp.o.d"
+  "/root/repo/src/fault/tmr.cpp" "src/fault/CMakeFiles/hermes_fault.dir/tmr.cpp.o" "gcc" "src/fault/CMakeFiles/hermes_fault.dir/tmr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

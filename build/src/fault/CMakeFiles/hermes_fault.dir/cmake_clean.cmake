@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_fault.dir/edac.cpp.o"
+  "CMakeFiles/hermes_fault.dir/edac.cpp.o.d"
+  "CMakeFiles/hermes_fault.dir/scrub_memory.cpp.o"
+  "CMakeFiles/hermes_fault.dir/scrub_memory.cpp.o.d"
+  "CMakeFiles/hermes_fault.dir/seu.cpp.o"
+  "CMakeFiles/hermes_fault.dir/seu.cpp.o.d"
+  "CMakeFiles/hermes_fault.dir/tmr.cpp.o"
+  "CMakeFiles/hermes_fault.dir/tmr.cpp.o.d"
+  "libhermes_fault.a"
+  "libhermes_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

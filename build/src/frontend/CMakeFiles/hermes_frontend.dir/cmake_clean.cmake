@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_frontend.dir/ast.cpp.o"
+  "CMakeFiles/hermes_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/hermes_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/hermes_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/hermes_frontend.dir/parser.cpp.o"
+  "CMakeFiles/hermes_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/hermes_frontend.dir/typecheck.cpp.o"
+  "CMakeFiles/hermes_frontend.dir/typecheck.cpp.o.d"
+  "libhermes_frontend.a"
+  "libhermes_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/bind.cpp" "src/hls/CMakeFiles/hermes_hls.dir/bind.cpp.o" "gcc" "src/hls/CMakeFiles/hermes_hls.dir/bind.cpp.o.d"
+  "/root/repo/src/hls/eucalyptus.cpp" "src/hls/CMakeFiles/hermes_hls.dir/eucalyptus.cpp.o" "gcc" "src/hls/CMakeFiles/hermes_hls.dir/eucalyptus.cpp.o.d"
+  "/root/repo/src/hls/flow.cpp" "src/hls/CMakeFiles/hermes_hls.dir/flow.cpp.o" "gcc" "src/hls/CMakeFiles/hermes_hls.dir/flow.cpp.o.d"
+  "/root/repo/src/hls/fsmd.cpp" "src/hls/CMakeFiles/hermes_hls.dir/fsmd.cpp.o" "gcc" "src/hls/CMakeFiles/hermes_hls.dir/fsmd.cpp.o.d"
+  "/root/repo/src/hls/schedule.cpp" "src/hls/CMakeFiles/hermes_hls.dir/schedule.cpp.o" "gcc" "src/hls/CMakeFiles/hermes_hls.dir/schedule.cpp.o.d"
+  "/root/repo/src/hls/target.cpp" "src/hls/CMakeFiles/hermes_hls.dir/target.cpp.o" "gcc" "src/hls/CMakeFiles/hermes_hls.dir/target.cpp.o.d"
+  "/root/repo/src/hls/techlib.cpp" "src/hls/CMakeFiles/hermes_hls.dir/techlib.cpp.o" "gcc" "src/hls/CMakeFiles/hermes_hls.dir/techlib.cpp.o.d"
+  "/root/repo/src/hls/testbench.cpp" "src/hls/CMakeFiles/hermes_hls.dir/testbench.cpp.o" "gcc" "src/hls/CMakeFiles/hermes_hls.dir/testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hermes_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hermes_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hermes_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_hls.dir/bind.cpp.o"
+  "CMakeFiles/hermes_hls.dir/bind.cpp.o.d"
+  "CMakeFiles/hermes_hls.dir/eucalyptus.cpp.o"
+  "CMakeFiles/hermes_hls.dir/eucalyptus.cpp.o.d"
+  "CMakeFiles/hermes_hls.dir/flow.cpp.o"
+  "CMakeFiles/hermes_hls.dir/flow.cpp.o.d"
+  "CMakeFiles/hermes_hls.dir/fsmd.cpp.o"
+  "CMakeFiles/hermes_hls.dir/fsmd.cpp.o.d"
+  "CMakeFiles/hermes_hls.dir/schedule.cpp.o"
+  "CMakeFiles/hermes_hls.dir/schedule.cpp.o.d"
+  "CMakeFiles/hermes_hls.dir/target.cpp.o"
+  "CMakeFiles/hermes_hls.dir/target.cpp.o.d"
+  "CMakeFiles/hermes_hls.dir/techlib.cpp.o"
+  "CMakeFiles/hermes_hls.dir/techlib.cpp.o.d"
+  "CMakeFiles/hermes_hls.dir/testbench.cpp.o"
+  "CMakeFiles/hermes_hls.dir/testbench.cpp.o.d"
+  "libhermes_hls.a"
+  "libhermes_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_hv.dir/hypervisor.cpp.o"
+  "CMakeFiles/hermes_hv.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/hermes_hv.dir/ports.cpp.o"
+  "CMakeFiles/hermes_hv.dir/ports.cpp.o.d"
+  "libhermes_hv.a"
+  "libhermes_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/netlist.cpp" "src/hw/CMakeFiles/hermes_hw.dir/netlist.cpp.o" "gcc" "src/hw/CMakeFiles/hermes_hw.dir/netlist.cpp.o.d"
+  "/root/repo/src/hw/sim.cpp" "src/hw/CMakeFiles/hermes_hw.dir/sim.cpp.o" "gcc" "src/hw/CMakeFiles/hermes_hw.dir/sim.cpp.o.d"
+  "/root/repo/src/hw/tmr_transform.cpp" "src/hw/CMakeFiles/hermes_hw.dir/tmr_transform.cpp.o" "gcc" "src/hw/CMakeFiles/hermes_hw.dir/tmr_transform.cpp.o.d"
+  "/root/repo/src/hw/vcd.cpp" "src/hw/CMakeFiles/hermes_hw.dir/vcd.cpp.o" "gcc" "src/hw/CMakeFiles/hermes_hw.dir/vcd.cpp.o.d"
+  "/root/repo/src/hw/verilog.cpp" "src/hw/CMakeFiles/hermes_hw.dir/verilog.cpp.o" "gcc" "src/hw/CMakeFiles/hermes_hw.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

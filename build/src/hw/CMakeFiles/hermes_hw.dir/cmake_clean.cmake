@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_hw.dir/netlist.cpp.o"
+  "CMakeFiles/hermes_hw.dir/netlist.cpp.o.d"
+  "CMakeFiles/hermes_hw.dir/sim.cpp.o"
+  "CMakeFiles/hermes_hw.dir/sim.cpp.o.d"
+  "CMakeFiles/hermes_hw.dir/tmr_transform.cpp.o"
+  "CMakeFiles/hermes_hw.dir/tmr_transform.cpp.o.d"
+  "CMakeFiles/hermes_hw.dir/vcd.cpp.o"
+  "CMakeFiles/hermes_hw.dir/vcd.cpp.o.d"
+  "CMakeFiles/hermes_hw.dir/verilog.cpp.o"
+  "CMakeFiles/hermes_hw.dir/verilog.cpp.o.d"
+  "libhermes_hw.a"
+  "libhermes_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

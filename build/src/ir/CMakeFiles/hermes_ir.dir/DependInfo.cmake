@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/cdfg.cpp" "src/ir/CMakeFiles/hermes_ir.dir/cdfg.cpp.o" "gcc" "src/ir/CMakeFiles/hermes_ir.dir/cdfg.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/hermes_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/hermes_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/ir/CMakeFiles/hermes_ir.dir/ir.cpp.o" "gcc" "src/ir/CMakeFiles/hermes_ir.dir/ir.cpp.o.d"
+  "/root/repo/src/ir/lower.cpp" "src/ir/CMakeFiles/hermes_ir.dir/lower.cpp.o" "gcc" "src/ir/CMakeFiles/hermes_ir.dir/lower.cpp.o.d"
+  "/root/repo/src/ir/passes.cpp" "src/ir/CMakeFiles/hermes_ir.dir/passes.cpp.o" "gcc" "src/ir/CMakeFiles/hermes_ir.dir/passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hermes_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_ir.dir/cdfg.cpp.o"
+  "CMakeFiles/hermes_ir.dir/cdfg.cpp.o.d"
+  "CMakeFiles/hermes_ir.dir/interp.cpp.o"
+  "CMakeFiles/hermes_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/hermes_ir.dir/ir.cpp.o"
+  "CMakeFiles/hermes_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/hermes_ir.dir/lower.cpp.o"
+  "CMakeFiles/hermes_ir.dir/lower.cpp.o.d"
+  "CMakeFiles/hermes_ir.dir/passes.cpp.o"
+  "CMakeFiles/hermes_ir.dir/passes.cpp.o.d"
+  "libhermes_ir.a"
+  "libhermes_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

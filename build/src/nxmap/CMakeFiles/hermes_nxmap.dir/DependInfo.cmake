@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nxmap/bitstream.cpp" "src/nxmap/CMakeFiles/hermes_nxmap.dir/bitstream.cpp.o" "gcc" "src/nxmap/CMakeFiles/hermes_nxmap.dir/bitstream.cpp.o.d"
+  "/root/repo/src/nxmap/detailed_route.cpp" "src/nxmap/CMakeFiles/hermes_nxmap.dir/detailed_route.cpp.o" "gcc" "src/nxmap/CMakeFiles/hermes_nxmap.dir/detailed_route.cpp.o.d"
+  "/root/repo/src/nxmap/device.cpp" "src/nxmap/CMakeFiles/hermes_nxmap.dir/device.cpp.o" "gcc" "src/nxmap/CMakeFiles/hermes_nxmap.dir/device.cpp.o.d"
+  "/root/repo/src/nxmap/flow.cpp" "src/nxmap/CMakeFiles/hermes_nxmap.dir/flow.cpp.o" "gcc" "src/nxmap/CMakeFiles/hermes_nxmap.dir/flow.cpp.o.d"
+  "/root/repo/src/nxmap/place.cpp" "src/nxmap/CMakeFiles/hermes_nxmap.dir/place.cpp.o" "gcc" "src/nxmap/CMakeFiles/hermes_nxmap.dir/place.cpp.o.d"
+  "/root/repo/src/nxmap/power.cpp" "src/nxmap/CMakeFiles/hermes_nxmap.dir/power.cpp.o" "gcc" "src/nxmap/CMakeFiles/hermes_nxmap.dir/power.cpp.o.d"
+  "/root/repo/src/nxmap/route.cpp" "src/nxmap/CMakeFiles/hermes_nxmap.dir/route.cpp.o" "gcc" "src/nxmap/CMakeFiles/hermes_nxmap.dir/route.cpp.o.d"
+  "/root/repo/src/nxmap/sta.cpp" "src/nxmap/CMakeFiles/hermes_nxmap.dir/sta.cpp.o" "gcc" "src/nxmap/CMakeFiles/hermes_nxmap.dir/sta.cpp.o.d"
+  "/root/repo/src/nxmap/techmap.cpp" "src/nxmap/CMakeFiles/hermes_nxmap.dir/techmap.cpp.o" "gcc" "src/nxmap/CMakeFiles/hermes_nxmap.dir/techmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hermes_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hermes_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hermes_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hermes_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_nxmap.dir/bitstream.cpp.o"
+  "CMakeFiles/hermes_nxmap.dir/bitstream.cpp.o.d"
+  "CMakeFiles/hermes_nxmap.dir/detailed_route.cpp.o"
+  "CMakeFiles/hermes_nxmap.dir/detailed_route.cpp.o.d"
+  "CMakeFiles/hermes_nxmap.dir/device.cpp.o"
+  "CMakeFiles/hermes_nxmap.dir/device.cpp.o.d"
+  "CMakeFiles/hermes_nxmap.dir/flow.cpp.o"
+  "CMakeFiles/hermes_nxmap.dir/flow.cpp.o.d"
+  "CMakeFiles/hermes_nxmap.dir/place.cpp.o"
+  "CMakeFiles/hermes_nxmap.dir/place.cpp.o.d"
+  "CMakeFiles/hermes_nxmap.dir/power.cpp.o"
+  "CMakeFiles/hermes_nxmap.dir/power.cpp.o.d"
+  "CMakeFiles/hermes_nxmap.dir/route.cpp.o"
+  "CMakeFiles/hermes_nxmap.dir/route.cpp.o.d"
+  "CMakeFiles/hermes_nxmap.dir/sta.cpp.o"
+  "CMakeFiles/hermes_nxmap.dir/sta.cpp.o.d"
+  "CMakeFiles/hermes_nxmap.dir/techmap.cpp.o"
+  "CMakeFiles/hermes_nxmap.dir/techmap.cpp.o.d"
+  "libhermes_nxmap.a"
+  "libhermes_nxmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_nxmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

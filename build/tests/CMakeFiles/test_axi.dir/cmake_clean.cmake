@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_axi.dir/test_axi.cpp.o"
+  "CMakeFiles/test_axi.dir/test_axi.cpp.o.d"
+  "test_axi"
+  "test_axi.pdb"
+  "test_axi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_axi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

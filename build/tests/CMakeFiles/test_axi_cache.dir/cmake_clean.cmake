@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_axi_cache.dir/test_axi_cache.cpp.o"
+  "CMakeFiles/test_axi_cache.dir/test_axi_cache.cpp.o.d"
+  "test_axi_cache"
+  "test_axi_cache.pdb"
+  "test_axi_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_axi_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_flow_errors.cpp" "tests/CMakeFiles/test_flow_errors.dir/test_flow_errors.cpp.o" "gcc" "tests/CMakeFiles/test_flow_errors.dir/test_flow_errors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/hermes_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/hermes_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hermes_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hermes_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hermes_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

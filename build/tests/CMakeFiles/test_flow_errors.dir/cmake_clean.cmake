@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_errors.dir/test_flow_errors.cpp.o"
+  "CMakeFiles/test_flow_errors.dir/test_flow_errors.cpp.o.d"
+  "test_flow_errors"
+  "test_flow_errors.pdb"
+  "test_flow_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

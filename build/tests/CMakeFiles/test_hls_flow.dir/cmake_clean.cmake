@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_flow.dir/test_hls_flow.cpp.o"
+  "CMakeFiles/test_hls_flow.dir/test_hls_flow.cpp.o.d"
+  "test_hls_flow"
+  "test_hls_flow.pdb"
+  "test_hls_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

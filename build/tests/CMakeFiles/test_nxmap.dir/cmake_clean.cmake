@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nxmap.dir/test_nxmap.cpp.o"
+  "CMakeFiles/test_nxmap.dir/test_nxmap.cpp.o.d"
+  "test_nxmap"
+  "test_nxmap.pdb"
+  "test_nxmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nxmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmr_netlist.dir/test_tmr_netlist.cpp.o"
+  "CMakeFiles/test_tmr_netlist.dir/test_tmr_netlist.cpp.o.d"
+  "test_tmr_netlist"
+  "test_tmr_netlist.pdb"
+  "test_tmr_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmr_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
