@@ -56,21 +56,29 @@ void BM_PipelineStages(benchmark::State& state) {
 BENCHMARK(BM_PipelineStages)->DenseRange(0, 4);
 
 /// Full sweep -> XML artifact (what Eucalyptus stores in the Bambu library).
+/// Arg 0 = serial (0-worker pool), arg 1 = the process-wide pool; the sweep
+/// result is bit-identical either way.
 void BM_FullSweepToXml(benchmark::State& state) {
+  const bool threaded = state.range(0) != 0;
   const TechLibrary lib(ng_ultra());
   const SweepConfig config;
+  ThreadPool serial(0);
+  ThreadPool* pool = threaded ? &ThreadPool::global() : &serial;
   std::string xml;
   std::size_t points = 0;
   for (auto _ : state) {
-    const auto sweep = run_sweep(lib, config);
+    const auto sweep = run_sweep(lib, config, pool);
     points = sweep.size();
     xml = to_xml(lib.target(), sweep);
     benchmark::ClobberMemory();
   }
+  state.SetLabel(threaded
+                     ? "pool x" + std::to_string(ThreadPool::global().size())
+                     : "serial");
   state.counters["configurations"] = static_cast<double>(points);
   state.counters["xml_kb"] = static_cast<double>(xml.size()) / 1024.0;
 }
-BENCHMARK(BM_FullSweepToXml)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullSweepToXml)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /// Ablation D2: operation chaining on/off across clock periods — chaining
 /// packs more work per state at relaxed clocks.

@@ -8,6 +8,8 @@
 
 #include "boot/flash.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "fault/campaign.hpp"
 #include "fault/scrub_memory.hpp"
 #include "hls/flow.hpp"
 #include "hw/tmr_transform.hpp"
@@ -57,6 +59,78 @@ void BM_ScrubCampaign(benchmark::State& state) {
 BENCHMARK(BM_ScrubCampaign)
     ->ArgsProduct({{0, 1, 2},       // Protection
                    {1, 10, 100}});  // rate multiplier
+
+/// Campaign-runner scaling: the same multi-replica scrub campaign on the
+/// serial path (0-worker pool) vs the process-wide pool. Results are
+/// bit-identical by the per-replica-seed determinism contract; only the
+/// wall clock may differ.
+void BM_ParallelScrubCampaign(benchmark::State& state) {
+  const bool threaded = state.range(0) != 0;
+  ScrubCampaignPlan plan;
+  plan.replicas = 16;
+  plan.memory_words = 4096;
+  plan.protection = Protection::kTmr;
+  plan.intervals = 8;
+  plan.seu.upset_probability_per_word = 1e-3;
+
+  ThreadPool serial(0);
+  ThreadPool* pool = threaded ? &ThreadPool::global() : &serial;
+  ScrubCampaignResult result;
+  for (auto _ : state) {
+    result = run_scrub_campaign(plan, pool);
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(threaded
+                     ? "pool x" + std::to_string(ThreadPool::global().size())
+                     : "serial");
+  state.counters["replicas"] = static_cast<double>(plan.replicas);
+  state.counters["upsets"] = static_cast<double>(result.total.injected_upsets);
+  state.counters["silent"] =
+      static_cast<double>(result.total.silent_corruptions);
+}
+BENCHMARK(BM_ParallelScrubCampaign)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Netlist SEU campaign over a real HLS accelerator: one golden + one faulty
+/// Simulator replica per task, random register-bit flip, divergence watch.
+void BM_NetlistSeuCampaign(benchmark::State& state) {
+  const bool threaded = state.range(0) != 0;
+  static const auto flow = [] {
+    hls::FlowOptions opts;
+    opts.top = "dot";
+    return hls::run_flow(R"(
+      int dot(int a[16], int b[16]) {
+        int acc = 0;
+        for (int i = 0; i < 16; i = i + 1) { acc = acc + a[i] * b[i]; }
+        return acc;
+      }
+    )", opts);
+  }();
+  if (!flow.ok()) {
+    state.SkipWithError("flow failed");
+    return;
+  }
+  NetlistSeuPlan plan;
+  plan.replicas = 24;
+  plan.cycles_before = 8;
+  plan.cycles_after = 64;
+  plan.inputs = {{"start", 1}};
+
+  ThreadPool serial(0);
+  ThreadPool* pool = threaded ? &ThreadPool::global() : &serial;
+  NetlistSeuResult result;
+  for (auto _ : state) {
+    result = run_netlist_seu_campaign(flow.value().fsmd.module, plan, pool);
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(threaded
+                     ? "pool x" + std::to_string(ThreadPool::global().size())
+                     : "serial");
+  state.counters["replicas"] = static_cast<double>(plan.replicas);
+  state.counters["diverged"] = static_cast<double>(result.diverged);
+}
+BENCHMARK(BM_NetlistSeuCampaign)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /// Storage overhead vs protection (the cost column of the D4 table).
 void BM_ProtectionOverhead(benchmark::State& state) {

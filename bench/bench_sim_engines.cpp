@@ -1,0 +1,116 @@
+// SIM — event-driven vs full-sweep simulator engines (ISSUE 1 perf work).
+//
+// A synthetic fabric of independent per-channel comb chains behind input
+// ports, plus one free-running counter, lets the activity factor be dialed:
+//  * sparse: only the counter toggles — the event-driven engine touches a
+//    handful of cells per cycle while the sweep engine re-evaluates all of
+//    them (this is the AXI-wrapper / fault-campaign steady state, where most
+//    of an accelerator is idle most cycles);
+//  * dense: every channel input changes every cycle — worst case for the
+//    event engine, which must pay scheduling overhead on top of the evals.
+// Reported as cycles/sec (items = simulated clock cycles).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "hw/netlist.hpp"
+#include "hw/sim.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::hw;
+
+constexpr int kChannels = 32;
+constexpr int kDepth = 24;
+
+Module make_fabric() {
+  Module m("fabric");
+  Rng rng(42);
+
+  // Free-running 16-bit counter with a small private output cone.
+  const WireId one = m.make_const(1, 1);
+  const WireId cnt_d = m.add_wire(16, "cnt_d");
+  const WireId cnt_q = m.make_register(cnt_d, one, 0, "cnt_q");
+  const WireId inc = m.make_const(1, 16);
+  Cell add;
+  add.kind = CellKind::kAdd;
+  add.inputs = {cnt_q, inc};
+  add.outputs = {cnt_d};
+  m.add_cell(std::move(add));
+  m.add_output(cnt_q, "count");
+
+  // Per-channel comb chain: in_c -> kDepth alternating ops -> register.
+  static const CellKind kChainOps[] = {CellKind::kAdd, CellKind::kXor,
+                                       CellKind::kMul, CellKind::kOr,
+                                       CellKind::kSub};
+  std::vector<WireId> channel_regs;
+  for (int c = 0; c < kChannels; ++c) {
+    const std::string port = "in" + std::to_string(c);
+    const WireId in = m.add_wire(32, port);
+    m.add_input(in, port);
+    WireId x = in;
+    for (int d = 0; d < kDepth; ++d) {
+      const WireId k = m.make_const(rng.next_u64() | 1, 32);
+      x = m.make_binop(kChainOps[(c + d) % std::size(kChainOps)], x, k, 32);
+    }
+    channel_regs.push_back(m.make_register(x, one, 0));
+  }
+
+  // Fold the channel registers into one observable output.
+  WireId folded = channel_regs[0];
+  for (std::size_t c = 1; c < channel_regs.size(); ++c) {
+    folded = m.make_binop(CellKind::kXor, folded, channel_regs[c], 32);
+  }
+  m.add_output(folded, "sig");
+  return m;
+}
+
+void run_engine_bench(benchmark::State& state, bool event_driven, bool dense) {
+  const Module fabric = make_fabric();
+  Simulator sim(fabric, SimOptions{.event_driven = event_driven});
+  if (!sim.status().ok()) {
+    state.SkipWithError("simulator construction failed");
+    return;
+  }
+  Rng rng(7);
+  std::uint64_t cycles = 0;
+  std::uint64_t checksum = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 200; ++i) {
+      if (dense) {
+        for (int c = 0; c < kChannels; ++c) {
+          sim.set_input("in" + std::to_string(c), rng.next_u64());
+        }
+      }
+      sim.step();
+      ++cycles;
+    }
+    checksum ^= sim.get_output("sig") ^ sim.get_output("count");
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+  state.SetLabel(std::string(event_driven ? "event" : "sweep") +
+                 (dense ? " dense" : " sparse"));
+  state.counters["cells"] = static_cast<double>(fabric.cells().size());
+}
+
+void BM_SparseToggle_Event(benchmark::State& state) {
+  run_engine_bench(state, /*event_driven=*/true, /*dense=*/false);
+}
+void BM_SparseToggle_Sweep(benchmark::State& state) {
+  run_engine_bench(state, /*event_driven=*/false, /*dense=*/false);
+}
+void BM_DenseToggle_Event(benchmark::State& state) {
+  run_engine_bench(state, /*event_driven=*/true, /*dense=*/true);
+}
+void BM_DenseToggle_Sweep(benchmark::State& state) {
+  run_engine_bench(state, /*event_driven=*/false, /*dense=*/true);
+}
+BENCHMARK(BM_SparseToggle_Event);
+BENCHMARK(BM_SparseToggle_Sweep);
+BENCHMARK(BM_DenseToggle_Event);
+BENCHMARK(BM_DenseToggle_Sweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

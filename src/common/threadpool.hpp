@@ -1,0 +1,82 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Built for the embarrassingly-parallel outer loops of this codebase — SEU
+// campaign replicas, Eucalyptus characterization grids, placement seeds —
+// where every iteration is independent and writes only its own result slot.
+// Determinism contract: parallel_for(count, body) calls body(i) exactly once
+// for each i in [0, count); callers derive any randomness from the index
+// (e.g. per-replica RNG seeds), so results are bit-identical for any worker
+// count, including zero (fully inline execution).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hermes {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `workers` worker threads. The submitting thread also
+  /// participates in every parallel_for, so a pool with 0 workers runs
+  /// everything inline (the serial reference).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute work: workers + the submitting thread.
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs body(0) .. body(count - 1), each exactly once, distributed over the
+  /// workers and the calling thread; returns when all are done. Not
+  /// reentrant: body must not itself call parallel_for on the same pool.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool sized to the hardware (hardware_concurrency - 1
+  /// workers, capped at 15).
+  static ThreadPool& global();
+
+  /// Worker count global() would use on this machine.
+  static unsigned default_workers();
+
+ private:
+  /// Per-submission state, stack-allocated by parallel_for. Workers register
+  /// (under the pool mutex) before pulling indices and deregister after, so
+  /// parallel_for never returns — and the Job never dies — while any worker
+  /// still holds a pointer to it.
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};  ///< next index to claim
+    std::atomic<std::size_t> done{0};  ///< completed bodies
+    unsigned registered = 0;           ///< workers inside the pull loop (mutex)
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  ///< serializes concurrent parallel_for calls
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  Job* current_job_ = nullptr;
+};
+
+/// parallel_for on the process-wide pool.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace hermes

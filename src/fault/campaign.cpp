@@ -1,0 +1,114 @@
+#include "fault/campaign.hpp"
+
+#include "hw/sim.hpp"
+
+namespace hermes::fault {
+
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t replica) {
+  // SplitMix64 over (base, index): decorrelates consecutive replicas far
+  // better than base + index, and never depends on thread assignment.
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL *
+                                    (static_cast<std::uint64_t>(replica) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+ScrubCampaignResult run_scrub_campaign(const ScrubCampaignPlan& plan,
+                                       ThreadPool* pool) {
+  ScrubCampaignResult result;
+  result.per_replica.assign(plan.replicas, ScrubReport{});
+
+  const auto run_replica = [&](std::size_t replica) {
+    ScrubMemory memory(plan.memory_words, plan.protection);
+    for (std::size_t i = 0; i < memory.size(); ++i) {
+      memory.write(i, static_cast<std::uint32_t>(i * 2654435761u));
+    }
+    Rng rng(replica_seed(plan.base_seed, replica));
+    ScrubReport sum;
+    for (unsigned interval = 0; interval < plan.intervals; ++interval) {
+      const ScrubReport report = memory.inject_and_scrub(plan.seu, rng);
+      sum.injected_upsets += report.injected_upsets;
+      sum.corrected += report.corrected;
+      sum.detected_uncorrectable += report.detected_uncorrectable;
+      sum.silent_corruptions += report.silent_corruptions;
+    }
+    result.per_replica[replica] = sum;
+  };
+  if (pool == nullptr) pool = &ThreadPool::global();
+  pool->parallel_for(plan.replicas, run_replica);
+
+  for (const ScrubReport& report : result.per_replica) {
+    result.total.injected_upsets += report.injected_upsets;
+    result.total.corrected += report.corrected;
+    result.total.detected_uncorrectable += report.detected_uncorrectable;
+    result.total.silent_corruptions += report.silent_corruptions;
+  }
+  return result;
+}
+
+NetlistSeuResult run_netlist_seu_campaign(const hw::Module& module,
+                                          const NetlistSeuPlan& plan,
+                                          ThreadPool* pool) {
+  NetlistSeuResult result;
+  result.per_replica.assign(plan.replicas, NetlistSeuOutcome{});
+
+  const auto run_replica = [&](std::size_t replica) {
+    hw::Simulator golden(module);
+    hw::Simulator faulty(module);
+    if (!golden.status().ok() || !faulty.status().ok()) return;
+    for (const auto& [port, value] : plan.inputs) {
+      golden.set_input(port, value);
+      faulty.set_input(port, value);
+    }
+    for (std::uint64_t c = 0; c < plan.cycles_before; ++c) {
+      golden.step();
+      faulty.step();
+    }
+
+    const std::vector<hw::WireId> targets = golden.register_outputs();
+    NetlistSeuOutcome outcome;
+    if (targets.empty()) {
+      result.per_replica[replica] = outcome;
+      return;
+    }
+    Rng rng(replica_seed(plan.base_seed, replica));
+    outcome.target = targets[rng.next_below(targets.size())];
+    outcome.bit = static_cast<unsigned>(
+        rng.next_below(module.wire_width(outcome.target)));
+    faulty.corrupt_wire(outcome.target, outcome.bit);
+
+    const std::vector<hw::Port>& ports = module.ports();
+    for (std::uint64_t c = 0; c < plan.cycles_after; ++c) {
+      golden.step();
+      faulty.step();
+      bool mismatch = false;
+      for (hw::WireId reg : targets) {
+        if (golden.get(reg) != faulty.get(reg)) { mismatch = true; break; }
+      }
+      if (!mismatch) {
+        for (const hw::Port& port : ports) {
+          if (!port.is_input &&
+              golden.get(port.wire) != faulty.get(port.wire)) {
+            mismatch = true;
+            break;
+          }
+        }
+      }
+      if (mismatch && !outcome.diverged) {
+        outcome.diverged = true;
+        outcome.first_divergence_cycle = c;
+      }
+    }
+    result.per_replica[replica] = outcome;
+  };
+  if (pool == nullptr) pool = &ThreadPool::global();
+  pool->parallel_for(plan.replicas, run_replica);
+
+  for (const NetlistSeuOutcome& outcome : result.per_replica) {
+    if (outcome.diverged) ++result.diverged;
+  }
+  return result;
+}
+
+}  // namespace hermes::fault

@@ -1,0 +1,79 @@
+// Parallel SEU campaign runner.
+//
+// Fault campaigns (DESIGN.md experiment TMR, paper Secs. I/IV) repeat the
+// same inject-scrub-readback experiment over many independent replicas and
+// many netlist fault sites. Every replica is independent, so the runner fans
+// them out over a ThreadPool with one ScrubMemory / hw::Simulator replica per
+// task and a deterministic per-replica RNG seed: results are bit-identical to
+// the serial run regardless of worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/threadpool.hpp"
+#include "fault/scrub_memory.hpp"
+#include "hw/netlist.hpp"
+
+namespace hermes::fault {
+
+/// Deterministic per-replica seed: a SplitMix64 mix of the campaign base
+/// seed and the replica index, independent of worker assignment.
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t replica);
+
+/// One scrub-memory campaign: `replicas` independent memories, each written
+/// with a fixed pattern and put through `intervals` inject+scrub rounds.
+struct ScrubCampaignPlan {
+  std::size_t replicas = 8;
+  std::size_t memory_words = 4096;
+  Protection protection = Protection::kTmr;
+  SeuCampaignConfig seu;       ///< per-interval upset model (seed field unused)
+  unsigned intervals = 16;
+  std::uint64_t base_seed = 1;
+};
+
+struct ScrubCampaignResult {
+  std::vector<ScrubReport> per_replica;  ///< summed over that replica's intervals
+  ScrubReport total;                     ///< summed over all replicas
+};
+
+/// Runs the plan on `pool` (nullptr = the process-wide pool). Bit-identical
+/// for any worker count, including a ThreadPool with 0 workers (serial).
+ScrubCampaignResult run_scrub_campaign(const ScrubCampaignPlan& plan,
+                                       ThreadPool* pool = nullptr);
+
+/// One netlist SEU campaign: per replica, a golden and a faulty Simulator
+/// run side by side; after `cycles_before` cycles a random register bit is
+/// flipped in the faulty copy, and both run `cycles_after` more cycles while
+/// register state and outputs are compared each cycle.
+struct NetlistSeuPlan {
+  std::size_t replicas = 32;
+  std::uint64_t cycles_before = 4;
+  std::uint64_t cycles_after = 32;
+  std::uint64_t base_seed = 1;
+  /// Input port values applied before running (e.g. {{"start", 1}}).
+  std::vector<std::pair<std::string, std::uint64_t>> inputs;
+};
+
+struct NetlistSeuOutcome {
+  hw::WireId target = hw::kNoWire;  ///< corrupted register output
+  unsigned bit = 0;
+  bool diverged = false;            ///< any register/output mismatch observed
+  std::uint64_t first_divergence_cycle = 0;  ///< cycle index of first mismatch
+};
+
+struct NetlistSeuResult {
+  std::vector<NetlistSeuOutcome> per_replica;
+  std::size_t diverged = 0;  ///< replicas whose upset propagated to state
+};
+
+/// Runs the plan against `module` on `pool` (nullptr = process-wide pool).
+/// Each task owns its two Simulator replicas; deterministic per-replica
+/// seeds keep the result independent of the worker count.
+NetlistSeuResult run_netlist_seu_campaign(const hw::Module& module,
+                                          const NetlistSeuPlan& plan,
+                                          ThreadPool* pool = nullptr);
+
+}  // namespace hermes::fault

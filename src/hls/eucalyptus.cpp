@@ -35,19 +35,32 @@ CharacterizationPoint characterize_point(const TechLibrary& lib, ir::Op op,
 }
 
 std::vector<CharacterizationPoint> run_sweep(const TechLibrary& lib,
-                                             const SweepConfig& config) {
-  std::vector<CharacterizationPoint> points;
-  points.reserve(config.ops.size() * config.widths.size() *
-                 config.pipeline_stages.size() * config.clock_periods_ns.size());
+                                             const SweepConfig& config,
+                                             ThreadPool* pool) {
+  struct GridPoint {
+    ir::Op op;
+    unsigned width, stages;
+    double period;
+  };
+  std::vector<GridPoint> grid;
+  grid.reserve(config.ops.size() * config.widths.size() *
+               config.pipeline_stages.size() * config.clock_periods_ns.size());
   for (ir::Op op : config.ops) {
     for (unsigned width : config.widths) {
       for (unsigned stages : config.pipeline_stages) {
         for (double period : config.clock_periods_ns) {
-          points.push_back(characterize_point(lib, op, width, stages, period));
+          grid.push_back({op, width, stages, period});
         }
       }
     }
   }
+
+  std::vector<CharacterizationPoint> points(grid.size());
+  if (pool == nullptr) pool = &ThreadPool::global();
+  pool->parallel_for(grid.size(), [&](std::size_t i) {
+    const GridPoint& p = grid[i];
+    points[i] = characterize_point(lib, p.op, p.width, p.stages, p.period);
+  });
   return points;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/threadpool.hpp"
 #include "hls/techlib.hpp"
 
 namespace hermes::hls {
@@ -47,9 +48,13 @@ CharacterizationPoint characterize_point(const TechLibrary& lib, ir::Op op,
                                          unsigned width, unsigned stages,
                                          double period_ns);
 
-/// Full sweep over the config space.
+/// Full sweep over the config space. The (op × width × stages × period)
+/// grid points are independent, so they are characterized in parallel on
+/// `pool` (nullptr = the process-wide pool); each point writes only its own
+/// slot, so the result is identical to the serial sweep in the same order.
 std::vector<CharacterizationPoint> run_sweep(const TechLibrary& lib,
-                                             const SweepConfig& config);
+                                             const SweepConfig& config,
+                                             ThreadPool* pool = nullptr);
 
 /// Renders points in the Bambu-library XML layout.
 std::string to_xml(const FpgaTarget& target,

@@ -1,5 +1,6 @@
 #include "hw/sim.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <queue>
 
@@ -8,35 +9,66 @@
 
 namespace hermes::hw {
 
-Simulator::Simulator(const Module& module) : module_(module) {
+Simulator::Simulator(const Module& module, SimOptions options)
+    : module_(module), options_(options) {
   status_ = module.validate();
   if (!status_.ok()) return;
 
   values_.assign(module.wire_count(), 0);
+  build_tables();
+  if (!status_.ok()) return;
+  reset();
+}
 
-  // Topological sort of combinational cells. A comb cell is ready once all
-  // of its inputs are either sequential outputs, port inputs, const outputs,
-  // or outputs of already-scheduled comb cells.
-  const auto& cells = module.cells();
-  std::vector<std::size_t> driver_of(module.wire_count(), static_cast<std::size_t>(-1));
+void Simulator::build_tables() {
+  const auto& cells = module_.cells();
+  const std::size_t wire_count = module_.wire_count();
+  constexpr std::size_t kNoCell = static_cast<std::size_t>(-1);
+
+  std::vector<std::size_t> driver_of(wire_count, kNoCell);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     for (WireId wire : cells[i].outputs) driver_of[wire] = i;
   }
 
+  // Topological sort of combinational cells, computing levels on the way.
+  // A comb cell is ready once all of its inputs are either sequential
+  // outputs, port inputs, const outputs, or outputs of already-scheduled
+  // comb cells; its level is 1 + max level over its comb drivers.
   std::vector<unsigned> pending(cells.size(), 0);
   std::vector<std::vector<std::size_t>> dependents(cells.size());
+  std::vector<std::uint32_t> cell_level(cells.size(), 0);
   std::queue<std::size_t> ready;
+  std::size_t comb_count = 0;
 
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
     if (is_sequential(cell.kind)) {
-      seq_cells_.push_back(i);
+      switch (cell.kind) {
+        case CellKind::kRegister:
+          reg_ops_.push_back({cell.inputs[0], cell.inputs[1], cell.outputs[0],
+                              module_.wire_width(cell.outputs[0]), cell.param});
+          break;
+        case CellKind::kRamRead:
+          ram_read_ops_.push_back({cell.inputs[0], cell.inputs[1],
+                                   cell.outputs[0],
+                                   static_cast<std::uint32_t>(cell.param)});
+          break;
+        case CellKind::kRamWrite:
+          ram_write_ops_.push_back(
+              {cell.inputs[0], cell.inputs[1], cell.inputs[2],
+               static_cast<std::uint32_t>(cell.param),
+               module_.memories()[cell.param].width});
+          break;
+        default:
+          break;
+      }
       continue;
     }
+    ++comb_count;
     unsigned deps = 0;
     for (WireId wire : cell.inputs) {
       const std::size_t driver = driver_of[wire];
-      if (driver == static_cast<std::size_t>(-1)) continue;  // port input
+      if (driver == kNoCell) continue;  // port input / undriven
       if (is_sequential(cells[driver].kind)) continue;
       ++deps;
       dependents[driver].push_back(i);
@@ -45,38 +77,89 @@ Simulator::Simulator(const Module& module) : module_(module) {
     if (deps == 0) ready.push(i);
   }
 
+  std::vector<std::size_t> comb_topo;
+  comb_topo.reserve(comb_count);
   while (!ready.empty()) {
     const std::size_t index = ready.front();
     ready.pop();
-    comb_order_.push_back(index);
+    comb_topo.push_back(index);
     for (std::size_t dep : dependents[index]) {
+      cell_level[dep] = std::max(cell_level[dep], cell_level[index] + 1);
       if (--pending[dep] == 0) ready.push(dep);
     }
   }
-
-  std::size_t comb_count = 0;
-  for (const Cell& cell : cells) {
-    if (!is_sequential(cell.kind)) ++comb_count;
-  }
-  if (comb_order_.size() != comb_count) {
+  if (comb_topo.size() != comb_count) {
     status_ = Status::Error(ErrorCode::kInternal,
                             format("combinational loop in module %s",
-                                   module.name().c_str()));
+                                   module_.name().c_str()));
     return;
   }
 
-  reset();
+  // Flatten into the SoA op table, in topological order.
+  comb_ops_.reserve(comb_count);
+  std::uint32_t max_level = 0;
+  for (std::size_t cell_index : comb_topo) {
+    const Cell& cell = cells[cell_index];
+    CombOp op;
+    op.kind = cell.kind;
+    op.level = cell_level[cell_index];
+    op.first_input = static_cast<std::uint32_t>(op_inputs_.size());
+    op.input_count = static_cast<std::uint16_t>(cell.inputs.size());
+    for (WireId wire : cell.inputs) {
+      op_inputs_.push_back(wire);
+      op_input_widths_.push_back(
+          static_cast<std::uint8_t>(module_.wire_width(wire)));
+    }
+    op.out = cell.outputs[0];
+    op.out_width = static_cast<std::uint8_t>(module_.wire_width(op.out));
+    op.out_mask = bit_mask(op.out_width);
+    op.param = cell.param;
+    comb_ops_.push_back(op);
+    max_level = std::max(max_level, op.level);
+  }
+  level_buckets_.assign(comb_ops_.empty() ? 0 : max_level + 1, {});
+  op_scheduled_.assign(comb_ops_.size(), 0);
+
+  comb_driver_.assign(wire_count, kNoOp);
+  for (std::size_t i = 0; i < comb_ops_.size(); ++i) {
+    comb_driver_[comb_ops_[i].out] = static_cast<std::uint32_t>(i);
+  }
+
+  // Per-wire fanout lists (CSR), deduplicated per op so a cell consuming the
+  // same wire twice appears once.
+  const auto for_each_unique_input = [&](const CombOp& op, auto&& fn) {
+    const WireId* in = op_inputs_.data() + op.first_input;
+    for (std::uint16_t i = 0; i < op.input_count; ++i) {
+      bool seen = false;
+      for (std::uint16_t j = 0; j < i; ++j) {
+        if (in[j] == in[i]) { seen = true; break; }
+      }
+      if (!seen) fn(in[i]);
+    }
+  };
+  std::vector<std::uint32_t> counts(wire_count, 0);
+  for (const CombOp& op : comb_ops_) {
+    for_each_unique_input(op, [&](WireId wire) { ++counts[wire]; });
+  }
+  fanout_offsets_.assign(wire_count + 1, 0);
+  for (std::size_t w = 0; w < wire_count; ++w) {
+    fanout_offsets_[w + 1] = fanout_offsets_[w] + counts[w];
+  }
+  fanout_ops_.resize(fanout_offsets_[wire_count]);
+  std::vector<std::uint32_t> cursor(fanout_offsets_.begin(),
+                                    fanout_offsets_.end() - 1);
+  for (std::size_t i = 0; i < comb_ops_.size(); ++i) {
+    for_each_unique_input(comb_ops_[i], [&](WireId wire) {
+      fanout_ops_[cursor[wire]++] = static_cast<std::uint32_t>(i);
+    });
+  }
 }
 
 void Simulator::reset() {
   cycles_ = 0;
-  for (auto& value : values_) value = 0;
-  for (std::size_t index : seq_cells_) {
-    const Cell& cell = module_.cells()[index];
-    if (cell.kind == CellKind::kRegister) {
-      values_[cell.outputs[0]] =
-          truncate(cell.param, module_.wire_width(cell.outputs[0]));
-    }
+  std::fill(values_.begin(), values_.end(), 0);
+  for (const RegOp& op : reg_ops_) {
+    values_[op.q] = truncate(op.reset_value, op.q_width);
   }
   mem_state_.clear();
   for (const Memory& memory : module_.memories()) {
@@ -86,13 +169,34 @@ void Simulator::reset() {
     }
     mem_state_.push_back(std::move(contents));
   }
-  eval_comb();
+  // Full settle from scratch; both engines start from a fully clean state.
+  for (auto& bucket : level_buckets_) bucket.clear();
+  std::fill(op_scheduled_.begin(), op_scheduled_.end(), 0);
+  for (const CombOp& op : comb_ops_) values_[op.out] = eval_op(op);
+  comb_dirty_ = false;
+}
+
+void Simulator::schedule_op(std::uint32_t op_index) {
+  if (op_scheduled_[op_index]) return;
+  op_scheduled_[op_index] = 1;
+  level_buckets_[comb_ops_[op_index].level].push_back(op_index);
+}
+
+void Simulator::mark_wire_changed(WireId wire) {
+  comb_dirty_ = true;
+  if (!options_.event_driven) return;
+  const std::uint32_t begin = fanout_offsets_[wire];
+  const std::uint32_t end = fanout_offsets_[wire + 1];
+  for (std::uint32_t i = begin; i < end; ++i) schedule_op(fanout_ops_[i]);
 }
 
 void Simulator::set_input(std::string_view port_name, std::uint64_t value) {
   const WireId wire = module_.port_wire(port_name);
   assert(wire != kNoWire && "unknown input port");
-  values_[wire] = truncate(value, module_.wire_width(wire));
+  const std::uint64_t truncated = truncate(value, module_.wire_width(wire));
+  if (values_[wire] == truncated) return;
+  values_[wire] = truncated;
+  mark_wire_changed(wire);
 }
 
 std::uint64_t Simulator::get_output(std::string_view port_name) const {
@@ -101,17 +205,14 @@ std::uint64_t Simulator::get_output(std::string_view port_name) const {
   return values_[wire];
 }
 
-void Simulator::eval_cell(const Cell& cell) {
-  const auto in = [&](std::size_t index) { return values_[cell.inputs[index]]; };
-  const auto in_width = [&](std::size_t index) {
-    return module_.wire_width(cell.inputs[index]);
-  };
-  const unsigned out_width =
-      cell.outputs.empty() ? 0 : module_.wire_width(cell.outputs[0]);
+std::uint64_t Simulator::eval_op(const CombOp& op) const {
+  const WireId* inputs = op_inputs_.data() + op.first_input;
+  const std::uint8_t* widths = op_input_widths_.data() + op.first_input;
+  const auto in = [&](std::size_t index) { return values_[inputs[index]]; };
   std::uint64_t result = 0;
 
-  switch (cell.kind) {
-    case CellKind::kConst: result = cell.param; break;
+  switch (op.kind) {
+    case CellKind::kConst: result = op.param; break;
     case CellKind::kAdd: result = in(0) + in(1); break;
     case CellKind::kSub: result = in(0) - in(1); break;
     case CellKind::kMul: result = in(0) * in(1); break;
@@ -119,8 +220,8 @@ void Simulator::eval_cell(const Cell& cell) {
       result = in(1) == 0 ? ~0ULL : in(0) / in(1);
       break;
     case CellKind::kDivS: {
-      const std::int64_t a = sign_extend(in(0), in_width(0));
-      const std::int64_t b = sign_extend(in(1), in_width(1));
+      const std::int64_t a = sign_extend(in(0), widths[0]);
+      const std::int64_t b = sign_extend(in(1), widths[1]);
       result = b == 0 ? ~0ULL : static_cast<std::uint64_t>(a / b);
       break;
     }
@@ -128,8 +229,8 @@ void Simulator::eval_cell(const Cell& cell) {
       result = in(1) == 0 ? in(0) : in(0) % in(1);
       break;
     case CellKind::kRemS: {
-      const std::int64_t a = sign_extend(in(0), in_width(0));
-      const std::int64_t b = sign_extend(in(1), in_width(1));
+      const std::int64_t a = sign_extend(in(0), widths[0]);
+      const std::int64_t b = sign_extend(in(1), widths[1]);
       result = b == 0 ? static_cast<std::uint64_t>(a)
                       : static_cast<std::uint64_t>(a % b);
       break;
@@ -145,7 +246,7 @@ void Simulator::eval_cell(const Cell& cell) {
       result = in(1) >= 64 ? 0 : in(0) >> in(1);
       break;
     case CellKind::kShrS: {
-      const std::int64_t a = sign_extend(in(0), in_width(0));
+      const std::int64_t a = sign_extend(in(0), widths[0]);
       const std::uint64_t shift = in(1) >= 63 ? 63 : in(1);
       result = static_cast<std::uint64_t>(a >> shift);
       break;
@@ -154,39 +255,68 @@ void Simulator::eval_cell(const Cell& cell) {
     case CellKind::kNe: result = in(0) != in(1); break;
     case CellKind::kLtU: result = in(0) < in(1); break;
     case CellKind::kLtS:
-      result = sign_extend(in(0), in_width(0)) < sign_extend(in(1), in_width(1));
+      result = sign_extend(in(0), widths[0]) < sign_extend(in(1), widths[1]);
       break;
     case CellKind::kLeU: result = in(0) <= in(1); break;
     case CellKind::kLeS:
-      result = sign_extend(in(0), in_width(0)) <= sign_extend(in(1), in_width(1));
+      result = sign_extend(in(0), widths[0]) <= sign_extend(in(1), widths[1]);
       break;
     case CellKind::kMux: result = in(0) ? in(2) : in(1); break;
     case CellKind::kZext: result = in(0); break;
     case CellKind::kSext:
-      result = static_cast<std::uint64_t>(sign_extend(in(0), in_width(0)));
+      result = static_cast<std::uint64_t>(sign_extend(in(0), widths[0]));
       break;
-    case CellKind::kSlice: result = in(0) >> cell.param; break;
+    case CellKind::kSlice: result = in(0) >> op.param; break;
     case CellKind::kConcat: {
       unsigned shift = 0;
-      for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+      for (std::uint16_t i = 0; i < op.input_count; ++i) {
         result |= in(i) << shift;
-        shift += in_width(i);
+        shift += widths[i];
       }
       break;
     }
     case CellKind::kRegister:
     case CellKind::kRamRead:
     case CellKind::kRamWrite:
-      assert(false && "sequential cell in comb schedule");
-      return;
+      assert(false && "sequential cell in comb op table");
+      break;
   }
-  values_[cell.outputs[0]] = truncate(result, out_width);
+  return result & op.out_mask;
 }
 
 void Simulator::eval_comb() {
-  for (std::size_t index : comb_order_) {
-    eval_cell(module_.cells()[index]);
+  if (!comb_dirty_) return;
+  comb_dirty_ = false;
+
+  if (!options_.event_driven) {
+    for (const CombOp& op : comb_ops_) values_[op.out] = eval_op(op);
+    return;
   }
+
+  // Drain levels in ascending order. A re-evaluated op only ever schedules
+  // ops at strictly higher levels (its fanout), so each bucket is complete
+  // by the time it is reached and every op runs at most once per delta.
+  for (auto& bucket : level_buckets_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const std::uint32_t index = bucket[i];
+      op_scheduled_[index] = 0;
+      const CombOp& op = comb_ops_[index];
+      const std::uint64_t value = eval_op(op);
+      if (value == values_[op.out]) continue;
+      values_[op.out] = value;
+      const std::uint32_t begin = fanout_offsets_[op.out];
+      const std::uint32_t end = fanout_offsets_[op.out + 1];
+      for (std::uint32_t f = begin; f < end; ++f) schedule_op(fanout_ops_[f]);
+    }
+    bucket.clear();
+  }
+}
+
+void Simulator::commit_wire(WireId wire, unsigned width, std::uint64_t value) {
+  const std::uint64_t truncated = truncate(value, width);
+  if (values_[wire] == truncated) return;
+  values_[wire] = truncated;
+  mark_wire_changed(wire);
 }
 
 void Simulator::step() {
@@ -196,59 +326,40 @@ void Simulator::step() {
   // committed before reads sample, modelling write-first RAM ports (a read
   // and write to the same address in the same cycle returns the new data,
   // matching the behavioral templates used for NG-ULTRA TDP RAM inference).
-  struct RegUpdate { WireId q; std::uint64_t value; };
-  struct RamUpdate { std::size_t mem; std::uint64_t addr, value; };
-  struct RamSample { WireId data; std::size_t mem; std::uint64_t addr; bool enabled; };
-  std::vector<RegUpdate> reg_updates;
-  std::vector<RamUpdate> ram_updates;
-  std::vector<RamSample> ram_samples;
+  reg_scratch_.clear();
+  ram_write_scratch_.clear();
+  ram_sample_scratch_.clear();
 
-  for (std::size_t index : seq_cells_) {
-    const Cell& cell = module_.cells()[index];
-    switch (cell.kind) {
-      case CellKind::kRegister: {
-        const bool enabled = values_[cell.inputs[1]] != 0;
-        if (enabled) {
-          reg_updates.push_back({cell.outputs[0], values_[cell.inputs[0]]});
-        }
-        break;
-      }
-      case CellKind::kRamWrite: {
-        const bool enabled = values_[cell.inputs[2]] != 0;
-        if (enabled) {
-          ram_updates.push_back(
-              {static_cast<std::size_t>(cell.param), values_[cell.inputs[0]],
-               values_[cell.inputs[1]]});
-        }
-        break;
-      }
-      case CellKind::kRamRead: {
-        const bool enabled = values_[cell.inputs[1]] != 0;
-        ram_samples.push_back({cell.outputs[0],
-                               static_cast<std::size_t>(cell.param),
-                               values_[cell.inputs[0]], enabled});
-        break;
-      }
-      default:
-        break;
+  for (const RegOp& op : reg_ops_) {
+    if (values_[op.en] != 0) {
+      reg_scratch_.push_back({op.q, op.q_width, values_[op.d]});
     }
   }
-
-  for (const RegUpdate& update : reg_updates) {
-    values_[update.q] = truncate(update.value, module_.wire_width(update.q));
+  for (const RamWriteOp& op : ram_write_ops_) {
+    if (values_[op.en] != 0) {
+      ram_write_scratch_.push_back(
+          {op.mem, op.width, values_[op.addr], values_[op.data]});
+    }
   }
-  for (const RamUpdate& update : ram_updates) {
+  for (const RamReadOp& op : ram_read_ops_) {
+    ram_sample_scratch_.push_back(
+        {op.data, op.mem, values_[op.addr], values_[op.en] != 0});
+  }
+
+  for (const RegUpdate& update : reg_scratch_) {
+    commit_wire(update.q, update.width, update.value);
+  }
+  for (const RamUpdate& update : ram_write_scratch_) {
     auto& contents = mem_state_[update.mem];
     if (update.addr < contents.size()) {
-      contents[update.addr] =
-          truncate(update.value, module_.memories()[update.mem].width);
+      contents[update.addr] = truncate(update.value, update.width);
     }
   }
-  for (const RamSample& sample : ram_samples) {
+  for (const RamSample& sample : ram_sample_scratch_) {
     if (!sample.enabled) continue;
     const auto& contents = mem_state_[sample.mem];
-    values_[sample.data] =
-        sample.addr < contents.size() ? contents[sample.addr] : 0;
+    commit_wire(sample.data, 64,
+                sample.addr < contents.size() ? contents[sample.addr] : 0);
   }
 
   ++cycles_;
@@ -258,7 +369,7 @@ void Simulator::step() {
 Result<std::uint64_t> Simulator::run_until(std::string_view port_name,
                                            std::uint64_t max_cycles) {
   const std::uint64_t start = cycles_;
-  eval_comb();
+  eval_comb();  // lazy: settles only if an input changed since the last settle
   while (get_output(port_name) == 0) {
     if (cycles_ - start >= max_cycles) {
       return Status::Error(
@@ -277,14 +388,22 @@ void Simulator::corrupt_wire(WireId wire, unsigned bit) {
   const unsigned width = module_.wire_width(wire);
   if (bit >= width) return;
   values_[wire] ^= 1ULL << bit;
+  comb_dirty_ = true;
+  if (options_.event_driven) {
+    // If a comb cell drives this wire the next settle recomputes it (erasing
+    // the flip, as the full sweep does); the driver sits at a lower level
+    // than the fanout, so dependents observe the recomputed value.
+    if (comb_driver_[wire] != kNoOp) schedule_op(comb_driver_[wire]);
+    const std::uint32_t begin = fanout_offsets_[wire];
+    const std::uint32_t end = fanout_offsets_[wire + 1];
+    for (std::uint32_t i = begin; i < end; ++i) schedule_op(fanout_ops_[i]);
+  }
 }
 
 std::vector<WireId> Simulator::register_outputs() const {
   std::vector<WireId> outputs;
-  for (std::size_t index : seq_cells_) {
-    const Cell& cell = module_.cells()[index];
-    if (cell.kind == CellKind::kRegister) outputs.push_back(cell.outputs[0]);
-  }
+  outputs.reserve(reg_ops_.size());
+  for (const RegOp& op : reg_ops_) outputs.push_back(op.q);
   return outputs;
 }
 

@@ -5,6 +5,18 @@
 // interpreter. Two-phase semantics per clock cycle: combinational cells
 // settle in topological order, then sequential cells (registers, RAM ports)
 // commit on the clock edge.
+//
+// Two engines share one compiled representation (see docs/SIMULATOR.md):
+//  * event-driven (default): at construction the cells are flattened into a
+//    contiguous op table with pre-resolved wire ids, cached widths and
+//    truncation masks, each comb op is assigned a topological level, and
+//    per-wire fanout lists are built. A settle then only re-evaluates the
+//    cells reachable from wires that actually changed (inputs, corrupted
+//    wires, committed registers / RAM samples), drained level by level so
+//    every cell runs at most once per delta.
+//  * full-sweep oracle (SimOptions{.event_driven = false}): re-evaluates the
+//    whole op table in topological order per settle. Kept as the
+//    differential-testing reference; both engines are bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -16,13 +28,21 @@
 
 namespace hermes::hw {
 
+/// Engine selection. The event-driven engine is the default; the full-sweep
+/// path is retained as the oracle for differential testing.
+struct SimOptions {
+  bool event_driven = true;
+};
+
 class Simulator {
  public:
   /// Builds the evaluation schedule. Fails on combinational loops.
-  explicit Simulator(const Module& module);
+  explicit Simulator(const Module& module, SimOptions options = {});
 
   /// True if construction succeeded (no comb loop, valid netlist).
   [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const SimOptions& options() const { return options_; }
 
   /// Synchronous reset: registers to their reset values, cycle counter to 0.
   /// Memory contents are reloaded from their init images.
@@ -31,7 +51,8 @@ class Simulator {
   /// Drives an input port (persists until changed).
   void set_input(std::string_view port_name, std::uint64_t value);
 
-  /// Settles combinational logic without advancing the clock.
+  /// Settles combinational logic without advancing the clock. Lazily clean:
+  /// a no-op unless an event source touched a wire since the last settle.
   void eval_comb();
 
   /// One full clock cycle: settle, commit sequential state, settle again.
@@ -66,15 +87,78 @@ class Simulator {
   [[nodiscard]] const Module& module() const { return module_; }
 
  private:
-  void eval_cell(const Cell& cell);
+  static constexpr std::uint32_t kNoOp = ~static_cast<std::uint32_t>(0);
+
+  /// One combinational cell, compiled: pre-resolved wires, cached widths and
+  /// output mask, topological level. Stored in topological order.
+  struct CombOp {
+    CellKind kind = CellKind::kConst;
+    std::uint8_t out_width = 0;
+    std::uint16_t input_count = 0;
+    std::uint32_t first_input = 0;  ///< index into op_inputs_ / op_input_widths_
+    std::uint32_t level = 0;
+    WireId out = kNoWire;
+    std::uint64_t out_mask = 0;
+    std::uint64_t param = 0;
+  };
+  struct RegOp {
+    WireId d = kNoWire, en = kNoWire, q = kNoWire;
+    unsigned q_width = 0;
+    std::uint64_t reset_value = 0;
+  };
+  struct RamReadOp {
+    WireId addr = kNoWire, en = kNoWire, data = kNoWire;
+    std::uint32_t mem = 0;
+  };
+  struct RamWriteOp {
+    WireId addr = kNoWire, data = kNoWire, en = kNoWire;
+    std::uint32_t mem = 0;
+    unsigned width = 0;
+  };
+
+  // Per-step scratch entries (member buffers, reused across steps).
+  struct RegUpdate { WireId q; unsigned width; std::uint64_t value; };
+  struct RamUpdate { std::uint32_t mem; unsigned width; std::uint64_t addr, value; };
+  struct RamSample { WireId data; std::uint32_t mem; std::uint64_t addr; bool enabled; };
+
+  void build_tables();
+  [[nodiscard]] std::uint64_t eval_op(const CombOp& op) const;
+  /// Marks an externally-changed wire: dirty flag (sweep) or fanout
+  /// scheduling (event).
+  void mark_wire_changed(WireId wire);
+  void schedule_op(std::uint32_t op_index);
+  /// Writes a sequential value; propagates only if it actually changed.
+  void commit_wire(WireId wire, unsigned width, std::uint64_t value);
 
   const Module& module_;
+  SimOptions options_;
   Status status_;
-  std::vector<std::size_t> comb_order_;   ///< comb cell indices, topo-sorted
-  std::vector<std::size_t> seq_cells_;    ///< register/RAM cell indices
+
+  // Compiled op table (SoA).
+  std::vector<CombOp> comb_ops_;              ///< topological order
+  std::vector<WireId> op_inputs_;             ///< flat input wires
+  std::vector<std::uint8_t> op_input_widths_; ///< cached input widths
+  std::vector<RegOp> reg_ops_;
+  std::vector<RamReadOp> ram_read_ops_;
+  std::vector<RamWriteOp> ram_write_ops_;
+
+  // Event machinery: wire -> consuming comb ops (CSR), wire -> driving comb
+  // op, per-level worklists.
+  std::vector<std::uint32_t> fanout_offsets_;
+  std::vector<std::uint32_t> fanout_ops_;
+  std::vector<std::uint32_t> comb_driver_;
+  std::vector<std::vector<std::uint32_t>> level_buckets_;
+  std::vector<std::uint8_t> op_scheduled_;
+  bool comb_dirty_ = false;
+
   std::vector<std::uint64_t> values_;     ///< current wire values
   std::vector<std::vector<std::uint64_t>> mem_state_;
   std::uint64_t cycles_ = 0;
+
+  // Step scratch buffers (hoisted out of step() to avoid per-cycle allocation).
+  std::vector<RegUpdate> reg_scratch_;
+  std::vector<RamUpdate> ram_write_scratch_;
+  std::vector<RamSample> ram_sample_scratch_;
 };
 
 }  // namespace hermes::hw

@@ -1,0 +1,481 @@
+// Differential tests for the event-driven simulator engine, plus the
+// determinism contract of the parallel campaign / characterization runners.
+//
+// The event-driven engine (default) and the full-sweep oracle share one
+// compiled op table but disagree-prone machinery (fanout scheduling, level
+// draining, lazy dirty flags). The randomized test drives both engines on
+// generated netlists — random inputs, corrupt_wire injections, RAM traffic,
+// backdoor memory writes — and asserts every wire and memory word matches
+// after every settle.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "fault/campaign.hpp"
+#include "hls/eucalyptus.hpp"
+#include "hls/flow.hpp"
+#include "hw/netlist.hpp"
+#include "hw/sim.hpp"
+
+namespace hermes::hw {
+namespace {
+
+/// A generated netlist plus the handles the driver loop needs.
+struct RandomDesign {
+  Module module{"rand"};
+  std::vector<std::string> input_ports;
+  std::size_t memory_count = 0;
+};
+
+/// Builds a random acyclic netlist: input ports, constants, feedback
+/// registers (counter-style, driven only from sequential/port wires so no
+/// combinational loop can form), a soup of random comb cells, and optional
+/// RAM read/write ports.
+RandomDesign make_random_design(Rng& rng, int index) {
+  RandomDesign design;
+  Module& m = design.module;
+  m = Module("rand" + std::to_string(index));
+
+  std::vector<WireId> pool;      // wires usable as comb inputs
+  std::vector<WireId> bit_pool;  // 1-bit wires (mux selects, enables)
+  // Wires with no combinational dependency (ports, consts, register
+  // outputs) — the only legal drivers for register-feedback filler cells.
+  std::vector<WireId> safe_pool;
+
+  const auto add_pool = [&](WireId wire) {
+    pool.push_back(wire);
+    if (m.wire_width(wire) == 1) bit_pool.push_back(wire);
+  };
+
+  const int num_inputs = 2 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < num_inputs; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(64));
+    const std::string name = "in" + std::to_string(i);
+    const WireId wire = m.add_wire(width, name);
+    m.add_input(wire, name);
+    design.input_ports.push_back(name);
+    add_pool(wire);
+    safe_pool.push_back(wire);
+  }
+  {
+    const WireId en = m.add_wire(1, "en0");
+    m.add_input(en, "en0");
+    design.input_ports.push_back("en0");
+    add_pool(en);
+    safe_pool.push_back(en);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(64));
+    const WireId wire = m.make_const(rng.next_u64(), width);
+    add_pool(wire);
+    safe_pool.push_back(wire);
+  }
+  const WireId const_one = m.make_const(1, 1);
+  add_pool(const_one);
+  safe_pool.push_back(const_one);
+
+  // Feedback registers: placeholder d wires are driven later by filler
+  // cells whose inputs come only from safe_pool.
+  struct Feedback { WireId d; WireId q; };
+  std::vector<Feedback> feedbacks;
+  const int num_regs = 1 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < num_regs; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(32));
+    const WireId d = m.add_wire(width);
+    const WireId en = bit_pool[rng.next_below(bit_pool.size())];
+    const WireId q = m.make_register(d, en, rng.next_u64(),
+                                     "q" + std::to_string(i));
+    feedbacks.push_back({d, q});
+    add_pool(q);
+    safe_pool.push_back(q);
+  }
+
+  // Optional memory with one read and one write port.
+  if (rng.next_bool(0.7)) {
+    Memory mem;
+    mem.name = "m0";
+    mem.width = 4 + static_cast<unsigned>(rng.next_below(29));
+    mem.depth = 8 + rng.next_below(24);
+    for (std::size_t i = 0; i < mem.depth / 2; ++i) {
+      mem.init.push_back(rng.next_u64());
+    }
+    const std::size_t mi = m.add_memory(mem);
+    design.memory_count = 1;
+    const WireId raddr = pool[rng.next_below(pool.size())];
+    const WireId ren = bit_pool[rng.next_below(bit_pool.size())];
+    const WireId rdata = m.make_ram_read(mi, raddr, ren, "rdata");
+    add_pool(rdata);
+    safe_pool.push_back(rdata);
+    const WireId waddr = pool[rng.next_below(pool.size())];
+    const WireId wdata = pool[rng.next_below(pool.size())];
+    const WireId wen = bit_pool[rng.next_below(bit_pool.size())];
+    m.make_ram_write(mi, waddr, wdata, wen);
+  }
+
+  // Random comb soup. Cells only consume existing wires, so the graph
+  // stays acyclic by construction.
+  static const CellKind kBinops[] = {
+      CellKind::kAdd,  CellKind::kSub,  CellKind::kMul,  CellKind::kDivU,
+      CellKind::kDivS, CellKind::kRemU, CellKind::kRemS, CellKind::kAnd,
+      CellKind::kOr,   CellKind::kXor,  CellKind::kShl,  CellKind::kShrU,
+      CellKind::kShrS, CellKind::kEq,   CellKind::kNe,   CellKind::kLtU,
+      CellKind::kLtS,  CellKind::kLeU,  CellKind::kLeS};
+  const int num_cells = 20 + static_cast<int>(rng.next_below(40));
+  for (int i = 0; i < num_cells; ++i) {
+    const WireId a = pool[rng.next_below(pool.size())];
+    WireId out = kNoWire;
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1:
+      case 2: {  // binop
+        const CellKind kind = kBinops[rng.next_below(std::size(kBinops))];
+        const WireId b = pool[rng.next_below(pool.size())];
+        out = m.make_binop(kind, a, b,
+                           1 + static_cast<unsigned>(rng.next_below(64)));
+        break;
+      }
+      case 3: {  // mux (branches must share a width)
+        const WireId sel = bit_pool[rng.next_below(bit_pool.size())];
+        const WireId b = m.make_const(rng.next_u64(), m.wire_width(a));
+        out = rng.next_bool(0.5) ? m.make_mux(sel, a, b) : m.make_mux(sel, b, a);
+        break;
+      }
+      case 4:  // unary
+        switch (rng.next_below(4)) {
+          case 0: out = m.make_not(a); break;
+          case 1:
+            out = m.make_zext(a, 1 + static_cast<unsigned>(rng.next_below(64)));
+            break;
+          case 2:
+            out = m.make_sext(a, 1 + static_cast<unsigned>(rng.next_below(64)));
+            break;
+          default:
+            out = m.make_slice(a, static_cast<unsigned>(
+                                      rng.next_below(m.wire_width(a))),
+                               1 + static_cast<unsigned>(rng.next_below(16)));
+            break;
+        }
+        break;
+      default: {  // concat, if the widths fit in 64 bits
+        const WireId b = pool[rng.next_below(pool.size())];
+        if (m.wire_width(a) + m.wire_width(b) <= 64) {
+          out = m.make_concat({a, b});
+        } else {
+          out = m.make_not(a);
+        }
+        break;
+      }
+    }
+    add_pool(out);
+  }
+
+  // Drive the feedback placeholders from safe wires only.
+  for (const Feedback& feedback : feedbacks) {
+    Cell cell;
+    cell.kind = rng.next_bool(0.5) ? CellKind::kAdd : CellKind::kXor;
+    cell.inputs = {feedback.q, safe_pool[rng.next_below(safe_pool.size())]};
+    cell.outputs = {feedback.d};
+    m.add_cell(std::move(cell));
+  }
+
+  // A few observable outputs (every wire is compared directly anyway).
+  for (int i = 0; i < 3; ++i) {
+    m.add_output(pool[rng.next_below(pool.size())], "out" + std::to_string(i));
+  }
+  return design;
+}
+
+void expect_identical(const Simulator& event, const Simulator& sweep,
+                      const RandomDesign& design, int trial, int cycle) {
+  for (WireId w = 0; w < design.module.wire_count(); ++w) {
+    ASSERT_EQ(event.get(w), sweep.get(w))
+        << "trial " << trial << " cycle " << cycle << " wire "
+        << design.module.wire_name(w) << " (" << w << ")";
+  }
+  for (std::size_t mem = 0; mem < design.memory_count; ++mem) {
+    const std::size_t depth = design.module.memories()[mem].depth;
+    for (std::size_t addr = 0; addr < depth; ++addr) {
+      ASSERT_EQ(event.read_memory(mem, addr), sweep.read_memory(mem, addr))
+          << "trial " << trial << " cycle " << cycle << " mem[" << addr << "]";
+    }
+  }
+}
+
+TEST(SimEventDifferential, RandomNetlistsMatchFullSweepOracle) {
+  constexpr int kDesigns = 60;
+  constexpr int kCyclesPerDesign = 30;  // 1800 netlist/cycle trials
+  Rng rng(0xD1FF);
+
+  for (int trial = 0; trial < kDesigns; ++trial) {
+    RandomDesign design = make_random_design(rng, trial);
+    ASSERT_TRUE(design.module.validate().ok()) << "trial " << trial;
+    Simulator event(design.module, SimOptions{.event_driven = true});
+    Simulator sweep(design.module, SimOptions{.event_driven = false});
+    ASSERT_TRUE(event.status().ok()) << event.status().message();
+    ASSERT_TRUE(sweep.status().ok()) << sweep.status().message();
+    expect_identical(event, sweep, design, trial, -1);
+
+    const std::vector<WireId> regs = event.register_outputs();
+    for (int cycle = 0; cycle < kCyclesPerDesign; ++cycle) {
+      for (const std::string& port : design.input_ports) {
+        if (rng.next_bool(0.5)) {
+          const std::uint64_t value = rng.next_u64();
+          event.set_input(port, value);
+          sweep.set_input(port, value);
+        }
+      }
+      if (rng.next_bool(0.3)) {  // mid-cycle settle must agree too
+        event.eval_comb();
+        sweep.eval_comb();
+        expect_identical(event, sweep, design, trial, cycle);
+      }
+      if (rng.next_bool(0.3)) {
+        // SEU injection: mostly register state, sometimes an arbitrary
+        // (possibly combinational) wire — the next settle must erase the
+        // flip identically in both engines.
+        const WireId target =
+            (!regs.empty() && rng.next_bool(0.7))
+                ? regs[rng.next_below(regs.size())]
+                : static_cast<WireId>(
+                      rng.next_below(design.module.wire_count()));
+        const unsigned bit = static_cast<unsigned>(
+            rng.next_below(design.module.wire_width(target)));
+        event.corrupt_wire(target, bit);
+        sweep.corrupt_wire(target, bit);
+      }
+      if (design.memory_count != 0 && rng.next_bool(0.2)) {
+        const Memory& mem = design.module.memories()[0];
+        const std::size_t addr = rng.next_below(mem.depth);
+        const std::uint64_t value = rng.next_u64();
+        event.write_memory(0, addr, value);
+        sweep.write_memory(0, addr, value);
+      }
+      event.step();
+      sweep.step();
+      ASSERT_EQ(event.cycles(), sweep.cycles());
+      expect_identical(event, sweep, design, trial, cycle);
+    }
+  }
+}
+
+TEST(SimEventDifferential, HlsAcceleratorSameResultBothEngines) {
+  hls::FlowOptions options;
+  options.top = "dot";
+  auto flow = hls::run_flow(R"(
+    int dot(int a[16], int b[16]) {
+      int acc = 0;
+      for (int i = 0; i < 16; i = i + 1) { acc = acc + a[i] * b[i]; }
+      return acc;
+    }
+  )", options);
+  ASSERT_TRUE(flow.ok());
+  const Module& module = flow.value().fsmd.module;
+
+  auto run = [&](bool event_driven) {
+    Simulator sim(module, SimOptions{.event_driven = event_driven});
+    EXPECT_TRUE(sim.status().ok());
+    for (std::size_t i = 0; i < 16; ++i) {
+      sim.write_memory(0, i, i + 1);
+      sim.write_memory(1, i, 2 * i + 1);
+    }
+    sim.set_input("start", 1);
+    auto cycles = sim.run_until("done", 100'000);
+    EXPECT_TRUE(cycles.ok());
+    return std::make_pair(cycles.ok() ? cycles.value() : 0,
+                          sim.get_output("return_value"));
+  };
+  const auto [event_cycles, event_result] = run(true);
+  const auto [sweep_cycles, sweep_result] = run(false);
+  EXPECT_EQ(event_cycles, sweep_cycles);
+  EXPECT_EQ(event_result, sweep_result);
+  EXPECT_NE(event_result, 0u);
+}
+
+TEST(SimEventDifferential, LazySettleKeepsObservableSemantics) {
+  // Counter with enable: repeated settles without input changes are no-ops,
+  // and outputs stay fresh right after step() without extra eval_comb calls.
+  Module m("counter");
+  const WireId en = m.add_wire(1, "en");
+  m.add_input(en, "en");
+  const WireId d = m.add_wire(8, "d");
+  const WireId q = m.make_register(d, en, 0, "q");
+  const WireId one = m.make_const(1, 8);
+  Cell add;
+  add.kind = CellKind::kAdd;
+  add.inputs = {q, one};
+  add.outputs = {d};
+  m.add_cell(add);
+  m.add_output(q, "q");
+
+  Simulator sim(m);
+  ASSERT_TRUE(sim.status().ok());
+  sim.set_input("en", 1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sim.get_output("q"), static_cast<std::uint64_t>(i));
+    sim.eval_comb();
+    sim.eval_comb();  // redundant settles must not disturb state
+    sim.step();
+  }
+  sim.set_input("en", 0);
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.get_output("q"), 5u);
+  EXPECT_EQ(sim.cycles(), 7u);
+}
+
+}  // namespace
+}  // namespace hermes::hw
+
+namespace hermes {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<int> hits(997, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+  // Degenerate counts.
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, BackToBackSubmissions) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(17, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i) + 1);
+    });
+    ASSERT_EQ(sum.load(), 17 * 18 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace hermes
+
+namespace hermes::fault {
+namespace {
+
+void expect_same_report(const ScrubReport& a, const ScrubReport& b) {
+  EXPECT_EQ(a.injected_upsets, b.injected_upsets);
+  EXPECT_EQ(a.corrected, b.corrected);
+  EXPECT_EQ(a.detected_uncorrectable, b.detected_uncorrectable);
+  EXPECT_EQ(a.silent_corruptions, b.silent_corruptions);
+}
+
+TEST(Campaign, ScrubParallelBitIdenticalToSerial) {
+  ScrubCampaignPlan plan;
+  plan.replicas = 6;
+  plan.memory_words = 512;
+  plan.intervals = 4;
+  plan.seu.upset_probability_per_word = 2e-3;
+  plan.seu.mbu_probability = 0.1;
+
+  for (Protection protection :
+       {Protection::kNone, Protection::kEdac, Protection::kTmr}) {
+    plan.protection = protection;
+    ThreadPool serial(0);
+    ThreadPool threaded(3);
+    const ScrubCampaignResult a = run_scrub_campaign(plan, &serial);
+    const ScrubCampaignResult b = run_scrub_campaign(plan, &threaded);
+    ASSERT_EQ(a.per_replica.size(), b.per_replica.size());
+    for (std::size_t i = 0; i < a.per_replica.size(); ++i) {
+      expect_same_report(a.per_replica[i], b.per_replica[i]);
+    }
+    expect_same_report(a.total, b.total);
+    EXPECT_GT(a.total.injected_upsets, 0u);
+  }
+}
+
+hw::Module make_counter_module() {
+  hw::Module m("campaign_counter");
+  const hw::WireId one = m.make_const(1, 1);
+  const hw::WireId d = m.add_wire(8, "d");
+  const hw::WireId q = m.make_register(d, one, 0, "q");
+  const hw::WireId inc = m.make_const(1, 8);
+  hw::Cell add;
+  add.kind = hw::CellKind::kAdd;
+  add.inputs = {q, inc};
+  add.outputs = {d};
+  m.add_cell(std::move(add));
+  m.add_output(q, "q");
+  return m;
+}
+
+TEST(Campaign, NetlistSeuParallelBitIdenticalToSerial) {
+  const hw::Module module = make_counter_module();
+  NetlistSeuPlan plan;
+  plan.replicas = 12;
+  plan.cycles_before = 3;
+  plan.cycles_after = 8;
+
+  ThreadPool serial(0);
+  ThreadPool threaded(4);
+  const NetlistSeuResult a = run_netlist_seu_campaign(module, plan, &serial);
+  const NetlistSeuResult b = run_netlist_seu_campaign(module, plan, &threaded);
+  ASSERT_EQ(a.per_replica.size(), b.per_replica.size());
+  for (std::size_t i = 0; i < a.per_replica.size(); ++i) {
+    EXPECT_EQ(a.per_replica[i].target, b.per_replica[i].target);
+    EXPECT_EQ(a.per_replica[i].bit, b.per_replica[i].bit);
+    EXPECT_EQ(a.per_replica[i].diverged, b.per_replica[i].diverged);
+    EXPECT_EQ(a.per_replica[i].first_divergence_cycle,
+              b.per_replica[i].first_divergence_cycle);
+  }
+  EXPECT_EQ(a.diverged, b.diverged);
+  // Flipping a bit of the sole counter register always corrupts its count.
+  EXPECT_EQ(a.diverged, plan.replicas);
+  for (const NetlistSeuOutcome& outcome : a.per_replica) {
+    EXPECT_EQ(outcome.first_divergence_cycle, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::fault
+
+namespace hermes::hls {
+namespace {
+
+TEST(Eucalyptus, ParallelSweepIdenticalToSerial) {
+  const TechLibrary lib(ng_ultra());
+  SweepConfig config;
+  config.widths = {8, 32};
+  config.pipeline_stages = {0, 2};
+  config.clock_periods_ns = {4.0, 10.0};
+
+  ThreadPool serial(0);
+  ThreadPool threaded(4);
+  const auto a = run_sweep(lib, config, &serial);
+  const auto b = run_sweep(lib, config, &threaded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].op, b[i].op);
+    EXPECT_EQ(a[i].width, b[i].width);
+    EXPECT_EQ(a[i].pipeline_stages, b[i].pipeline_stages);
+    EXPECT_EQ(a[i].clock_period_ns, b[i].clock_period_ns);
+    EXPECT_EQ(a[i].delay_ns, b[i].delay_ns);
+    EXPECT_EQ(a[i].latency, b[i].latency);
+    EXPECT_EQ(a[i].meets_timing, b[i].meets_timing);
+    EXPECT_EQ(a[i].fmax_mhz, b[i].fmax_mhz);
+    EXPECT_EQ(a[i].cost.luts, b[i].cost.luts);
+    EXPECT_EQ(a[i].cost.ffs, b[i].cost.ffs);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::hls
