@@ -1,0 +1,147 @@
+// Chaos-soak benchmark: throughput of the cross-layer fault-injection bus.
+//
+// Measures how fast the stack survives seeded random fault plans in each of
+// the three mission scenarios (boot chain, AXI-backed accelerator transfer,
+// hypervisor cyclic plan), and reports the campaign outcome as counters:
+// plans run, missions survived, faults fired. The robustness PR's acceptance
+// envelope — never hang, always a clean Status — is exercised here at scale.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "axi/hls_axi.hpp"
+#include "axi/slave_memory.hpp"
+#include "boot/bl.hpp"
+#include "boot/loadlist.hpp"
+#include "fault/injector.hpp"
+#include "hls/flow.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace {
+
+using namespace hermes;
+
+constexpr std::string_view kBootPoints[] = {
+    "flash.rot.replica", "flash.rot.voted", "spw.frame.corrupt",
+    "spw.frame.drop"};
+constexpr std::string_view kAxiPoints[] = {
+    "axi.ar.stall", "axi.aw.stall", "axi.r.stall",
+    "axi.r.corrupt", "axi.r.slverr", "axi.b.slverr"};
+constexpr std::string_view kHvPoints[] = {"hv.job.overrun",
+                                          "hv.partition.crash"};
+
+void BM_ChaosBoot(benchmark::State& state) {
+  std::uint64_t plans = 0, survived = 0, fires = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fault::FaultInjector injector(fault::make_random_plan(seed++, kBootPoints));
+    boot::BootEnvironment env;
+    env.attach_injector(&injector);
+    std::vector<std::uint8_t> bl1(1024, 0x11);
+    boot::LoadList list;
+    boot::LoadEntry app;
+    app.kind = boot::LoadKind::kBl2;
+    app.name = "app";
+    app.dest_addr = boot::MemoryMap::kDdrBase;
+    list.entries.push_back(app);
+    std::vector<std::vector<std::uint8_t>> images = {
+        std::vector<std::uint8_t>(2048, 0x22)};
+    boot::stage_boot_media(env, bl1, list, images);
+    const boot::BootResult result = boot::run_boot_chain(env);
+    ++plans;
+    survived += result.status.ok() ? 1 : 0;
+    fires += injector.total_fires();
+    benchmark::DoNotOptimize(result.report.total_cycles);
+  }
+  state.counters["plans"] = static_cast<double>(plans);
+  state.counters["survived"] = static_cast<double>(survived);
+  state.counters["fires"] = static_cast<double>(fires);
+}
+BENCHMARK(BM_ChaosBoot)->Unit(benchmark::kMillisecond);
+
+void BM_ChaosAxi(benchmark::State& state) {
+  const char* source = R"(
+    void scale(int32_t data[32], int factor) {
+      for (int i = 0; i < 32; i = i + 1) {
+        data[i] = data[i] * factor + 1;
+      }
+    }
+  )";
+  hls::FlowOptions options;
+  options.top = "scale";
+  auto flow = hls::run_flow(source, options);
+  if (!flow.ok()) {
+    state.SkipWithError(flow.status().to_string().c_str());
+    return;
+  }
+  const axi::AxiMap map = axi::default_axi_map(flow.value().function);
+
+  std::uint64_t plans = 0, survived = 0, fires = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fault::FaultInjector injector(fault::make_random_plan(seed++, kAxiPoints));
+    axi::AxiSlaveMemory ddr(1 << 16, axi::MemoryTiming{});
+    ddr.attach_injector(&injector);
+    for (std::size_t i = 0; i < 32; ++i) {
+      ddr.poke_word(map.base_addr.at(0) + i * 4, i * 5 + 2, 4);
+    }
+    axi::MasterConfig config;
+    config.watchdog_cycles = 10'000;
+    auto run = axi::run_with_axi(flow.value(), {3}, ddr, map,
+                                 axi::AxiMode::kDmaBurst, {}, 2'000'000,
+                                 config);
+    ++plans;
+    survived += run.ok() ? 1 : 0;
+    fires += injector.total_fires();
+    benchmark::DoNotOptimize(run.ok());
+  }
+  state.counters["plans"] = static_cast<double>(plans);
+  state.counters["survived"] = static_cast<double>(survived);
+  state.counters["fires"] = static_cast<double>(fires);
+}
+BENCHMARK(BM_ChaosAxi)->Unit(benchmark::kMillisecond);
+
+void BM_ChaosHypervisor(benchmark::State& state) {
+  std::uint64_t plans = 0, restarts = 0, fires = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    hv::HvConfig config;
+    config.plan.major_frame = 1000;
+    config.plan.per_core.assign(hv::kNumCores, {});
+    config.plan.per_core[0] = {{0, 450, 0, 0}, {500, 450, 1, 0}};
+    hv::PartitionConfig p0;
+    p0.name = "aocs";
+    p0.region = {0x0000, 0x1000};
+    p0.profile = {1000, 0, 200};
+    hv::PartitionConfig p1;
+    p1.name = "vbn";
+    p1.region = {0x1000, 0x1000};
+    p1.profile = {1000, 0, 300};
+    config.partitions = {p0, p1};
+    config.hm_table[hv::HmEvent::kBudgetOverrun] =
+        hv::HmAction::kRestartPartition;
+
+    fault::FaultInjector injector(fault::make_random_plan(seed++, kHvPoints));
+    hv::Hypervisor hv(config);
+    hv.attach_injector(&injector);
+    auto stats = hv.run(30'000);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().to_string().c_str());
+      return;
+    }
+    ++plans;
+    for (const hv::PartitionStats& partition : stats.value().partitions) {
+      restarts += partition.restarts;
+    }
+    fires += injector.total_fires();
+  }
+  state.counters["plans"] = static_cast<double>(plans);
+  state.counters["restarts"] = static_cast<double>(restarts);
+  state.counters["fires"] = static_cast<double>(fires);
+}
+BENCHMARK(BM_ChaosHypervisor)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -38,7 +38,7 @@ void AxiCache::write_back_line(Line& line, std::size_t set) {
   const std::uint64_t base =
       (line.tag * num_sets_ + set) * config_.line_bytes;
   const std::uint64_t before = master_.stats().cycles;
-  master_.write(base, line.data);
+  if (!master_.write(base, line.data).ok()) ++stats_.bus_errors;
   stats_.cycles += master_.stats().cycles - before;
   ++stats_.writebacks;
   line.dirty = false;
@@ -47,7 +47,7 @@ void AxiCache::write_back_line(Line& line, std::size_t set) {
 void AxiCache::fill_line(Line& line, std::uint64_t addr, bool prefetched) {
   const std::uint64_t base = (addr / config_.line_bytes) * config_.line_bytes;
   const std::uint64_t before = master_.stats().cycles;
-  master_.read(base, line.data);
+  if (!master_.read(base, line.data).ok()) ++stats_.bus_errors;
   stats_.cycles += master_.stats().cycles - before;
   line.valid = true;
   line.dirty = false;
@@ -130,7 +130,7 @@ void AxiCache::write_word(std::uint64_t addr, std::uint64_t value,
   if (!line) {
     // Write-through miss without allocation.
     const std::uint64_t before = master_.stats().cycles;
-    master_.write_word(addr, value, bytes);
+    if (!master_.write_word(addr, value, bytes).ok()) ++stats_.bus_errors;
     stats_.cycles += master_.stats().cycles - before;
     return;
   }
@@ -142,7 +142,7 @@ void AxiCache::write_word(std::uint64_t addr, std::uint64_t value,
     line->dirty = true;
   } else {
     const std::uint64_t before = master_.stats().cycles;
-    master_.write_word(addr, value, bytes);
+    if (!master_.write_word(addr, value, bytes).ok()) ++stats_.bus_errors;
     stats_.cycles += master_.stats().cycles - before;
   }
 }

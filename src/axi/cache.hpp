@@ -33,7 +33,8 @@ struct CacheStats {
   std::uint64_t hits = 0, misses = 0;
   std::uint64_t evictions = 0, writebacks = 0;
   std::uint64_t prefetches = 0, prefetch_hits = 0;
-  std::uint64_t cycles = 0;  ///< total access cycles incl. bus traffic
+  std::uint64_t cycles = 0;      ///< total access cycles incl. bus traffic
+  std::uint64_t bus_errors = 0;  ///< fills/writebacks the master failed
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;

@@ -34,10 +34,11 @@ Result<AxiRunResult> run_with_axi(const hls::FlowResult& flow,
                                   const std::vector<std::uint64_t>& scalar_args,
                                   AxiSlaveMemory& ddr, const AxiMap& map,
                                   AxiMode mode, const CacheConfig& cache_config,
-                                  std::uint64_t max_cycles) {
+                                  std::uint64_t max_cycles,
+                                  const MasterConfig& master_config) {
   const ir::Function& function = flow.function;
   const bool per_access = mode != AxiMode::kDmaBurst;
-  AxiMaster master(ddr);
+  AxiMaster master(ddr, master_config);
   AxiRunResult result;
 
   auto word_bytes = [&](std::size_t mem) {
@@ -73,7 +74,8 @@ Result<AxiRunResult> run_with_axi(const hls::FlowResult& flow,
     const unsigned word = word_bytes(mem);
     if (mode == AxiMode::kDmaBurst) {
       std::vector<std::uint8_t> buffer(decl.depth * word);
-      master.read(base, buffer);
+      Status dma_in = master.read(base, buffer);
+      if (!dma_in.ok()) return dma_in;
       for (std::size_t i = 0; i < decl.depth; ++i) {
         std::uint64_t value = 0;
         for (unsigned b = 0; b < word; ++b) {
@@ -117,7 +119,8 @@ Result<AxiRunResult> run_with_axi(const hls::FlowResult& flow,
           buffer[i * word + b] = static_cast<std::uint8_t>(value >> (8 * b));
         }
       }
-      master.write(base, buffer);
+      Status dma_out = master.write(base, buffer);
+      if (!dma_out.ok()) return dma_out;
     }
     result.bus = master.stats();
     result.transfer_cycles = result.bus.cycles;
@@ -142,15 +145,23 @@ Result<AxiRunResult> run_with_axi(const hls::FlowResult& flow,
         }
       } else {
         if (access.is_write) {
-          master.write_word(ext, access.value, word);
+          Status st = master.write_word(ext, access.value, word);
+          if (!st.ok()) return st;
         } else {
-          master.read_word(ext, word);
+          auto value = master.read_word(ext, word);
+          if (!value.ok()) return value.status();
         }
       }
     }
     if (cached) {
       cache.flush();
       result.cache = cache.stats();
+      if (result.cache.bus_errors > 0) {
+        return Status::Error(
+            ErrorCode::kInternal,
+            format("%llu AXI bus errors during cached replay",
+                   static_cast<unsigned long long>(result.cache.bus_errors)));
+      }
       result.transfer_cycles = result.cache.cycles;
     } else {
       result.transfer_cycles = master.stats().cycles;

@@ -2,53 +2,163 @@
 
 #include <cassert>
 
-namespace hermes::axi {
+#include "common/strings.hpp"
 
-void AxiMaster::read(std::uint64_t addr, std::span<std::uint8_t> out) {
-  if (out.empty()) return;
-  const unsigned size_log2 = 2;  // 32-bit data bus
-  const std::uint64_t beat_bytes = 1ULL << size_log2;
-  const auto bursts = split_transfer(addr, out.size(), size_log2);
-  for (const AddrBeat& ar : bursts) {
-    ++stats_.bursts;
-    while (!slave_.push_read(ar)) {
-      tick();
-      ++stats_.stall_cycles;
+namespace hermes::axi {
+namespace {
+
+/// DECERR outranks SLVERR when both appear in one burst: the decode error is
+/// permanent and must not be masked by a retriable failure.
+Resp worse(Resp a, Resp b) {
+  auto rank = [](Resp r) {
+    switch (r) {
+      case Resp::kDecErr: return 2;
+      case Resp::kSlvErr: return 1;
+      default: return 0;
     }
-    if (checker_) checker_->on_ar(ar);
-    tick();  // AR handshake cycle
-    unsigned beat = 0;
-    while (beat <= ar.len) {
-      ReadBeat rb;
-      if (slave_.pop_read_beat(rb)) {
-        ++stats_.beats;
-        if (checker_) checker_->on_r(rb);
-        const std::uint64_t beat_addr = beat_address(ar, beat);
-        for (unsigned lane = 0; lane < beat_bytes; ++lane) {
-          const std::uint64_t byte_addr = beat_addr + lane;
-          if (byte_addr >= addr && byte_addr < addr + out.size()) {
-            out[byte_addr - addr] = static_cast<std::uint8_t>(rb.data >> (8 * lane));
-            ++stats_.bytes_read;
-          }
-        }
-        ++beat;
-      } else {
-        ++stats_.stall_cycles;
-      }
-      tick();
-    }
-  }
+  };
+  return rank(a) >= rank(b) ? a : b;
 }
 
-void AxiMaster::write(std::uint64_t addr, std::span<const std::uint8_t> data) {
-  if (data.empty()) return;
+}  // namespace
+
+Status AxiMaster::trip_watchdog(const char* channel, const AddrBeat& burst) {
+  ++stats_.watchdog_trips;
+  slave_.abort_pending();  // bus reset: no stale beats may leak out
+  return Status::Error(
+      ErrorCode::kDeadlineExceeded,
+      format("AXI %s starved beyond %llu cycles (burst at 0x%llx)", channel,
+             static_cast<unsigned long long>(config_.watchdog_cycles),
+             static_cast<unsigned long long>(burst.addr)));
+}
+
+Status AxiMaster::decode_resp(Resp resp, const AddrBeat& burst) const {
+  switch (resp) {
+    case Resp::kOkay:
+    case Resp::kExOkay:
+      return Status::Ok();
+    case Resp::kDecErr:
+      return Status::Error(
+          ErrorCode::kInvalidArgument,
+          format("AXI DECERR: no slave decodes address 0x%llx",
+                 static_cast<unsigned long long>(burst.addr)));
+    case Resp::kSlvErr:
+      return Status::Error(
+          ErrorCode::kInternal,
+          format("AXI SLVERR at 0x%llx",
+                 static_cast<unsigned long long>(burst.addr)));
+  }
+  return Status::Error(ErrorCode::kInternal, "unknown AXI response");
+}
+
+void AxiMaster::backoff(unsigned attempt) {
+  const std::uint64_t idle = config_.retry_backoff_cycles << attempt;
+  for (std::uint64_t i = 0; i < idle; ++i) tick();
+}
+
+Status AxiMaster::read_burst_once(const AddrBeat& ar, std::uint64_t addr,
+                                  std::span<std::uint8_t> out) {
+  const std::uint64_t beat_bytes = 1ULL << ar.size_log2;
+  const std::uint64_t deadline = stats_.cycles + config_.watchdog_cycles;
+  while (!slave_.push_read(ar)) {
+    if (stats_.cycles >= deadline) return trip_watchdog("AR", ar);
+    tick();
+    ++stats_.stall_cycles;
+  }
+  if (checker_) checker_->on_ar(ar);
+  tick();  // AR handshake cycle
+  unsigned beat = 0;
+  Resp burst_resp = Resp::kOkay;
+  while (beat <= ar.len) {
+    ReadBeat rb;
+    if (slave_.pop_read_beat(rb)) {
+      ++stats_.beats;
+      if (checker_) checker_->on_r(rb);
+      if (rb.resp != Resp::kOkay && rb.resp != Resp::kExOkay) {
+        ++stats_.errors;
+        burst_resp = worse(burst_resp, rb.resp);
+      }
+      // Data lands even for a failing burst; a retry simply overwrites it,
+      // and the caller never sees the buffer unless the final Status is ok.
+      const std::uint64_t beat_addr = beat_address(ar, beat);
+      for (unsigned lane = 0; lane < beat_bytes; ++lane) {
+        const std::uint64_t byte_addr = beat_addr + lane;
+        if (byte_addr >= addr && byte_addr < addr + out.size()) {
+          out[byte_addr - addr] = static_cast<std::uint8_t>(rb.data >> (8 * lane));
+          ++stats_.bytes_read;
+        }
+      }
+      ++beat;
+    } else {
+      if (stats_.cycles >= deadline) return trip_watchdog("R", ar);
+      ++stats_.stall_cycles;
+    }
+    tick();
+  }
+  return decode_resp(burst_resp, ar);
+}
+
+Status AxiMaster::read(std::uint64_t addr, std::span<std::uint8_t> out) {
+  if (out.empty()) return Status::Ok();
+  const unsigned size_log2 = 2;  // 32-bit data bus
+  const auto bursts = split_transfer(addr, out.size(), size_log2);
+  for (const AddrBeat& ar : bursts) {
+    for (unsigned attempt = 0;; ++attempt) {
+      ++stats_.bursts;
+      const std::uint64_t bytes_before = stats_.bytes_read;
+      Status status = read_burst_once(ar, addr, out);
+      if (status.ok()) break;
+      // Only SLVERR (mapped to kInternal) is transient; DECERR and watchdog
+      // trips end the transfer immediately.
+      if (status.code() != ErrorCode::kInternal ||
+          attempt >= config_.max_retries) {
+        return status;
+      }
+      stats_.bytes_read = bytes_before;  // retried beats are not new payload
+      ++stats_.retries;
+      backoff(attempt);
+    }
+  }
+  return Status::Ok();
+}
+
+Status AxiMaster::write_burst_once(const AddrBeat& aw,
+                                   const std::vector<WriteBeat>& beats) {
+  const std::uint64_t deadline = stats_.cycles + config_.watchdog_cycles;
+  if (checker_) checker_->on_aw(aw);
+  for (const WriteBeat& wb : beats) {
+    if (checker_) checker_->on_w(wb);
+    tick();  // one W beat per cycle
+    ++stats_.beats;
+  }
+  while (!slave_.push_write(aw, beats)) {
+    if (stats_.cycles >= deadline) return trip_watchdog("AW", aw);
+    tick();
+    ++stats_.stall_cycles;
+  }
+  Resp resp = Resp::kOkay;
+  unsigned id = 0;
+  while (!slave_.pop_write_resp(resp, id)) {
+    if (stats_.cycles >= deadline) return trip_watchdog("B", aw);
+    tick();
+    ++stats_.stall_cycles;
+  }
+  if (checker_) checker_->on_b(resp, id);
+  tick();  // B handshake
+  if (resp != Resp::kOkay && resp != Resp::kExOkay) ++stats_.errors;
+  return decode_resp(resp, aw);
+}
+
+Status AxiMaster::write(std::uint64_t addr, std::span<const std::uint8_t> data) {
+  if (data.empty()) return Status::Ok();
   const unsigned size_log2 = 2;
   const std::uint64_t beat_bytes = 1ULL << size_log2;
   const auto bursts = split_transfer(addr, data.size(), size_log2);
   for (const AddrBeat& aw : bursts) {
-    ++stats_.bursts;
-    if (checker_) checker_->on_aw(aw);
+    // Assemble the burst's beats once; retries re-present the identical
+    // data, which is what makes the retry idempotent.
     std::vector<WriteBeat> beats;
+    beats.reserve(aw.len + 1u);
     for (unsigned beat = 0; beat <= aw.len; ++beat) {
       const std::uint64_t beat_addr = beat_address(aw, beat);
       WriteBeat wb;
@@ -59,35 +169,36 @@ void AxiMaster::write(std::uint64_t addr, std::span<const std::uint8_t> data) {
           wb.strb |= static_cast<std::uint8_t>(1u << lane);
           wb.data |= static_cast<std::uint64_t>(data[byte_addr - addr])
                      << (8 * lane);
-          ++stats_.bytes_written;
         }
       }
       wb.last = beat == aw.len;
-      if (checker_) checker_->on_w(wb);
       beats.push_back(wb);
-      tick();  // one W beat per cycle
-      ++stats_.beats;
     }
-    while (!slave_.push_write(aw, beats)) {
-      tick();
-      ++stats_.stall_cycles;
+    for (unsigned attempt = 0;; ++attempt) {
+      ++stats_.bursts;
+      Status status = write_burst_once(aw, beats);
+      if (status.ok()) break;
+      if (status.code() != ErrorCode::kInternal ||
+          attempt >= config_.max_retries) {
+        return status;
+      }
+      ++stats_.retries;
+      backoff(attempt);
     }
-    Resp resp = Resp::kOkay;
-    unsigned id = 0;
-    while (!slave_.pop_write_resp(resp, id)) {
-      tick();
-      ++stats_.stall_cycles;
+    for (const WriteBeat& wb : beats) {
+      for (unsigned lane = 0; lane < beat_bytes; ++lane) {
+        if (wb.strb & (1u << lane)) ++stats_.bytes_written;
+      }
     }
-    if (checker_) checker_->on_b(resp, id);
-    tick();  // B handshake
-    assert(resp == Resp::kOkay || resp == Resp::kDecErr);
   }
+  return Status::Ok();
 }
 
-std::uint64_t AxiMaster::read_word(std::uint64_t addr, unsigned bytes) {
+Result<std::uint64_t> AxiMaster::read_word(std::uint64_t addr, unsigned bytes) {
   assert(bytes >= 1 && bytes <= 8);
   std::uint8_t buffer[8] = {0};
-  read(addr, std::span(buffer, bytes));
+  Status status = read(addr, std::span(buffer, bytes));
+  if (!status.ok()) return status;
   std::uint64_t value = 0;
   for (unsigned i = 0; i < bytes; ++i) {
     value |= static_cast<std::uint64_t>(buffer[i]) << (8 * i);
@@ -95,14 +206,14 @@ std::uint64_t AxiMaster::read_word(std::uint64_t addr, unsigned bytes) {
   return value;
 }
 
-void AxiMaster::write_word(std::uint64_t addr, std::uint64_t value,
-                           unsigned bytes) {
+Status AxiMaster::write_word(std::uint64_t addr, std::uint64_t value,
+                             unsigned bytes) {
   assert(bytes >= 1 && bytes <= 8);
   std::uint8_t buffer[8];
   for (unsigned i = 0; i < bytes; ++i) {
     buffer[i] = static_cast<std::uint8_t>(value >> (8 * i));
   }
-  write(addr, std::span<const std::uint8_t>(buffer, bytes));
+  return write(addr, std::span<const std::uint8_t>(buffer, bytes));
 }
 
 }  // namespace hermes::axi

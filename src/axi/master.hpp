@@ -6,6 +6,12 @@
 // for HLS accelerators ("the user [can] automatically generate the necessary
 // AXI4 master interfaces and modules controlling the AXI signals, with no
 // protocol knowledge required").
+//
+// Every transfer is Status-returning and hang-proof: a transaction watchdog
+// bounds all handshake waits (starvation becomes kDeadlineExceeded and the
+// bus is reset), SLVERR responses are retried with backoff — legal because
+// this master's bursts are idempotent (reads, and writes that restate the
+// same data) — and DECERR is surfaced immediately as a decode error.
 #pragma once
 
 #include <cstdint>
@@ -14,8 +20,21 @@
 
 #include "axi/checker.hpp"
 #include "axi/slave_memory.hpp"
+#include "common/status.hpp"
 
 namespace hermes::axi {
+
+struct MasterConfig {
+  /// Per-burst cycle budget covering every handshake wait. A trip resets the
+  /// bus (slave aborts in-flight transactions) and fails the transfer with
+  /// kDeadlineExceeded.
+  std::uint64_t watchdog_cycles = 100'000;
+  /// Retries per burst on SLVERR (transient slave failures). DECERR — a
+  /// decode error, permanent by construction — is never retried.
+  unsigned max_retries = 3;
+  /// Idle cycles before retry `n` (doubles each attempt).
+  std::uint64_t retry_backoff_cycles = 8;
+};
 
 struct MasterStats {
   std::uint64_t cycles = 0;         ///< bus cycles consumed by this master
@@ -24,29 +43,35 @@ struct MasterStats {
   std::uint64_t bursts = 0;
   std::uint64_t beats = 0;
   std::uint64_t stall_cycles = 0;   ///< cycles waiting on AR/AW ready or R/B valid
+  std::uint64_t errors = 0;         ///< non-OKAY responses observed
+  std::uint64_t retries = 0;        ///< bursts re-issued after SLVERR
+  std::uint64_t watchdog_trips = 0; ///< transactions abandoned by the watchdog
 };
 
 class AxiMaster {
  public:
-  explicit AxiMaster(AxiSlaveMemory& slave) : slave_(slave) {}
+  explicit AxiMaster(AxiSlaveMemory& slave, MasterConfig config = {})
+      : slave_(slave), config_(config) {}
 
-  /// Blocking burst read of [addr, addr+out.size()): issues INCR bursts and
-  /// ticks the bus until all data arrived. Handles unaligned start/end.
-  void read(std::uint64_t addr, std::span<std::uint8_t> out);
+  /// Burst read of [addr, addr+out.size()): issues INCR bursts and ticks the
+  /// bus until all data arrived, an error response survives the retry
+  /// budget, or the watchdog trips. Handles unaligned start/end.
+  Status read(std::uint64_t addr, std::span<std::uint8_t> out);
 
-  /// Blocking burst write (unaligned edges use narrow strobes).
-  void write(std::uint64_t addr, std::span<const std::uint8_t> data);
+  /// Burst write (unaligned edges use narrow strobes).
+  Status write(std::uint64_t addr, std::span<const std::uint8_t> data);
 
   /// Single-beat read/write of up to 8 bytes (models per-access master mode
   /// without caching/prefetching; one transaction per access).
-  std::uint64_t read_word(std::uint64_t addr, unsigned bytes);
-  void write_word(std::uint64_t addr, std::uint64_t value, unsigned bytes);
+  Result<std::uint64_t> read_word(std::uint64_t addr, unsigned bytes);
+  Status write_word(std::uint64_t addr, std::uint64_t value, unsigned bytes);
 
   [[nodiscard]] const MasterStats& stats() const { return stats_; }
+  [[nodiscard]] const MasterConfig& config() const { return config_; }
   void reset_stats() { stats_ = {}; }
 
   /// Attaches a passive protocol monitor; every channel event this master
-  /// produces is mirrored into it.
+  /// produces is mirrored into it (retried bursts appear once per attempt).
   void attach_checker(AxiChecker* checker) { checker_ = checker; }
 
  private:
@@ -55,7 +80,20 @@ class AxiMaster {
     ++stats_.cycles;
   }
 
+  /// Watchdog trip: count it, reset the bus, report the starved channel.
+  Status trip_watchdog(const char* channel, const AddrBeat& burst);
+  /// Maps the worst response of a finished burst to a Status.
+  Status decode_resp(Resp resp, const AddrBeat& burst) const;
+  /// Idle backoff before retry attempt `attempt` (0-based).
+  void backoff(unsigned attempt);
+
+  Status read_burst_once(const AddrBeat& ar, std::uint64_t addr,
+                         std::span<std::uint8_t> out);
+  Status write_burst_once(const AddrBeat& aw,
+                          const std::vector<WriteBeat>& beats);
+
   AxiSlaveMemory& slave_;
+  MasterConfig config_;
   MasterStats stats_;
   AxiChecker* checker_ = nullptr;
 };

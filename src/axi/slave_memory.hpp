@@ -6,6 +6,11 @@
 // plus one cycle per beat (or more, for slow memories), which is what makes
 // burst transfers win over repeated single-beat accesses in the AXI
 // benchmark.
+//
+// The slave is also the producer half of the error-response path: accesses
+// outside the backing store answer DECERR (configurable for legacy traffic),
+// and an attached fault::FaultInjector can stall handshakes, corrupt read
+// data, or force SLVERR responses to exercise the master's recovery code.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "axi/protocol.hpp"
+#include "fault/injector.hpp"
 
 namespace hermes::axi {
 
@@ -21,6 +27,9 @@ struct MemoryTiming {
   unsigned write_latency = 6;  ///< cycles from last W beat to B response
   unsigned cycles_per_beat = 1;
   unsigned max_outstanding = 4;
+  /// Out-of-range beats answer DECERR (AXI default-slave behaviour). Set to
+  /// false for the legacy model: reads return 0, writes are dropped, OKAY.
+  bool oob_decerr = true;
 };
 
 /// Cycle-driven AXI4 slave backed by a byte array. Requests are enqueued via
@@ -29,6 +38,10 @@ struct MemoryTiming {
 class AxiSlaveMemory {
  public:
   AxiSlaveMemory(std::size_t bytes, MemoryTiming timing);
+
+  /// Registers this slave's injection points ("axi.*") on `injector`.
+  /// Pass nullptr to detach.
+  void attach_injector(fault::FaultInjector* injector);
 
   // ---- backing-store backdoor (testbench / DMA preload) ----
   [[nodiscard]] std::size_t size() const { return store_.size(); }
@@ -48,6 +61,11 @@ class AxiSlaveMemory {
   bool pop_read_beat(ReadBeat& out);
   /// B channel: pops a ready write response, if any.
   bool pop_write_resp(Resp& out, unsigned& id);
+
+  /// Drops every in-flight transaction (the bus-reset a master performs
+  /// after its transaction watchdog trips, so stale beats from an abandoned
+  /// burst can never leak into the next transfer).
+  void abort_pending();
 
   /// One bus clock.
   void tick();
@@ -75,6 +93,14 @@ class AxiSlaveMemory {
   std::deque<PendingRead> reads_;
   std::deque<PendingWrite> writes_;
   std::uint64_t read_beats_ = 0, write_beats_ = 0;
+
+  fault::FaultInjector* injector_ = nullptr;
+  fault::PointId pt_ar_stall_ = fault::kNoFaultPoint;
+  fault::PointId pt_aw_stall_ = fault::kNoFaultPoint;
+  fault::PointId pt_r_stall_ = fault::kNoFaultPoint;
+  fault::PointId pt_r_corrupt_ = fault::kNoFaultPoint;
+  fault::PointId pt_r_slverr_ = fault::kNoFaultPoint;
+  fault::PointId pt_b_slverr_ = fault::kNoFaultPoint;
 };
 
 }  // namespace hermes::axi

@@ -55,6 +55,7 @@ std::vector<std::uint8_t> BootReport::serialize() const {
   put_u64(flash_corrected_bytes);
   put_u64(spw_crc_errors);
   put_u64(integrity_retries);
+  put_u64(spw_fallbacks);
   for (const StepRecord& step : steps) {
     char name[24] = {0};
     for (std::size_t i = 0; i < step.name.size() && i < 23; ++i) {
@@ -74,14 +75,14 @@ Result<BootReport> parse_boot_report(std::span<const std::uint8_t> data) {
     for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[o + i]) << (8 * i);
     return v;
   };
-  if (data.size() < 44) {
+  if (data.size() < 52) {
     return Status::Error(ErrorCode::kIntegrityError, "boot report truncated");
   }
   if (get_u32(data, 0) != kBootReportMagic) {
     return Status::Error(ErrorCode::kIntegrityError, "bad boot-report magic");
   }
   const std::uint32_t count = get_u32(data, 4);
-  const std::size_t expected = 40 + static_cast<std::size_t>(count) * 33 + 4;
+  const std::size_t expected = 48 + static_cast<std::size_t>(count) * 33 + 4;
   if (data.size() < expected) {
     return Status::Error(ErrorCode::kIntegrityError, "boot report truncated");
   }
@@ -93,7 +94,8 @@ Result<BootReport> parse_boot_report(std::span<const std::uint8_t> data) {
   report.flash_corrected_bytes = get_u64(16);
   report.spw_crc_errors = get_u64(24);
   report.integrity_retries = get_u64(32);
-  std::size_t offset = 40;
+  report.spw_fallbacks = get_u64(40);
+  std::size_t offset = 48;
   for (std::uint32_t i = 0; i < count; ++i) {
     StepRecord step;
     const char* name = reinterpret_cast<const char*>(data.data() + offset);
@@ -117,11 +119,13 @@ std::string BootReport::render() const {
     out << '\n';
   }
   out << format("  total %llu cycles; flash TMR corrections %llu B; "
-                "SpW CRC errors %llu; integrity retries %llu\n",
+                "SpW CRC errors %llu; integrity retries %llu; "
+                "SpW fallbacks %llu\n",
                 static_cast<unsigned long long>(total_cycles),
                 static_cast<unsigned long long>(flash_corrected_bytes),
                 static_cast<unsigned long long>(spw_crc_errors),
-                static_cast<unsigned long long>(integrity_retries));
+                static_cast<unsigned long long>(integrity_retries),
+                static_cast<unsigned long long>(spw_fallbacks));
   return out.str();
 }
 
@@ -218,6 +222,7 @@ Status run_bl0(BootEnvironment& env, const BootOptions& options,
   if (options.bl1_source == BootSource::kFlash) {
     status = try_flash();
     if (!status.ok() && options.spacewire_fallback) {
+      ++result.report.spw_fallbacks;
       status = try_spacewire();
     }
   } else {
@@ -303,6 +308,7 @@ Status run_bl1(BootEnvironment& env, const BootOptions& options,
   if (!parsed.ok() && options.loadlist_source == BootSource::kFlash &&
       options.spacewire_fallback) {
     ++report.integrity_retries;
+    ++report.spw_fallbacks;
     std::uint64_t cycles = 0;
     auto fetched = env.spacewire.fetch("loadlist", cycles);
     env.soc.charge(cycles);
@@ -342,14 +348,38 @@ Status run_bl1(BootEnvironment& env, const BootOptions& options,
     };
     bool ok = image.ok() && verify(image.value());
     if (!ok) {
-      // Retry policy: one re-read (TMR may fix transients), then SpaceWire.
+      // Recovery ladder: voted re-read (TMR may fix transients), then a
+      // per-replica digest scan (finds an intact copy when the voted stream
+      // itself is rotten), then SpaceWire. Every rung lands in the report.
       ++report.integrity_retries;
       image = fetch_image(via_spw);
       ok = image.ok() && verify(image.value());
+      if (ok) {
+        step(("recover " + entry.name).c_str(), 0, Status::Ok(),
+             "voted flash re-read");
+      }
+      if (!ok && !via_spw) {
+        for (unsigned r = 0; r < env.flash.replicas() && !ok; ++r) {
+          ++report.integrity_retries;
+          std::vector<std::uint8_t> copy(entry.size);
+          env.soc.charge(env.flash.read_replica(r, entry.source_offset, copy));
+          if (verify(copy)) {
+            image = std::move(copy);
+            ok = true;
+            step(("recover " + entry.name).c_str(), 0, Status::Ok(),
+                 format("replica %u digest scan", r));
+          }
+        }
+      }
       if (!ok && options.spacewire_fallback && !via_spw) {
         ++report.integrity_retries;
+        ++report.spw_fallbacks;
         image = fetch_image(true);
         ok = image.ok() && verify(image.value());
+        if (ok) {
+          step(("recover " + entry.name).c_str(), 0, Status::Ok(),
+               "SpaceWire fallback");
+        }
       }
     }
     if (!ok) {

@@ -61,6 +61,7 @@ struct BootReport {
   std::uint64_t flash_corrected_bytes = 0;  ///< TMR vote corrections
   std::uint64_t spw_crc_errors = 0;
   std::uint64_t integrity_retries = 0;
+  std::uint64_t spw_fallbacks = 0;  ///< flash gave up -> SpaceWire recovery
   [[nodiscard]] std::string render() const;
 
   /// Binary serialization (magic + counters + per-step records + CRC-32).
@@ -96,6 +97,12 @@ struct BootEnvironment {
                            double spw_bit_error_rate = 0.0)
       : flash(2 * 1024 * 1024, flash_replicas),
         spacewire(SpwTiming{}, spw_bit_error_rate) {}
+
+  /// Wires one injector into every boot-chain device.
+  void attach_injector(fault::FaultInjector* injector) {
+    flash.attach_injector(injector);
+    spacewire.attach_injector(injector);
+  }
 };
 
 /// Stages a bootable configuration: writes the BL1 image, load list and all

@@ -36,6 +36,17 @@ FlashBank::FlashBank(std::size_t bytes, unsigned replicas, FlashTiming timing) {
   }
 }
 
+void FlashBank::attach_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ == nullptr) {
+    pt_rot_replica_ = fault::kNoFaultPoint;
+    pt_rot_voted_ = fault::kNoFaultPoint;
+    return;
+  }
+  pt_rot_replica_ = injector_->register_point("flash.rot.replica");
+  pt_rot_voted_ = injector_->register_point("flash.rot.voted");
+}
+
 void FlashBank::program(std::uint64_t addr, std::span<const std::uint8_t> data) {
   for (FlashDevice& device : devices_) device.program(addr, data);
 }
@@ -45,16 +56,27 @@ FlashBank::ReadResult FlashBank::read(std::uint64_t addr,
   ReadResult result;
   if (devices_.size() == 1) {
     result.cycles = devices_[0].read(addr, out);
+    if (injector_ && injector_->should_fire(pt_rot_voted_)) {
+      injector_->mutate_bytes(pt_rot_voted_, out);
+    }
     return result;
   }
   std::vector<std::uint8_t> a(out.size()), b(out.size()), c(out.size());
   result.cycles += devices_[0].read(addr, a);
   result.cycles += devices_[1].read(addr, b);
   result.cycles += devices_[2].read(addr, c);
+  if (injector_ && injector_->should_fire(pt_rot_replica_)) {
+    // Rot one copy's read data: the bitwise vote masks it (and counts it).
+    injector_->mutate_bytes(pt_rot_replica_, a);
+  }
   for (std::size_t i = 0; i < out.size(); ++i) {
     const fault::VoteResult vote = fault::vote_bitwise(a[i], b[i], c[i]);
     out[i] = static_cast<std::uint8_t>(vote.value);
     if (vote.corrected) ++result.corrected_bytes;
+  }
+  if (injector_ && injector_->should_fire(pt_rot_voted_)) {
+    // Rot the post-vote data: TMR cannot help; the BL1 digest check must.
+    injector_->mutate_bytes(pt_rot_voted_, out);
   }
   return result;
 }

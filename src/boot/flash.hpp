@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/injector.hpp"
 
 namespace hermes::boot {
 
@@ -50,6 +51,11 @@ class FlashBank {
   /// `replicas` must be 1 or 3.
   FlashBank(std::size_t bytes, unsigned replicas, FlashTiming timing = {});
 
+  /// Registers this bank's injection points ("flash.rot.replica" rots one
+  /// TMR copy's read data — the vote masks it; "flash.rot.voted" rots the
+  /// post-vote data — only an integrity check above can catch it).
+  void attach_injector(fault::FaultInjector* injector);
+
   [[nodiscard]] unsigned replicas() const {
     return static_cast<unsigned>(devices_.size());
   }
@@ -64,10 +70,20 @@ class FlashBank {
   };
   ReadResult read(std::uint64_t addr, std::span<std::uint8_t> out) const;
 
+  /// Reads one replica without voting — the BL1 per-copy recovery scan uses
+  /// this to find an intact image when the bitwise vote itself is poisoned.
+  std::uint64_t read_replica(unsigned index, std::uint64_t addr,
+                             std::span<std::uint8_t> out) const {
+    return devices_.at(index).read(addr, out);
+  }
+
   FlashDevice& device(unsigned index) { return devices_.at(index); }
 
  private:
   std::vector<FlashDevice> devices_;
+  fault::FaultInjector* injector_ = nullptr;
+  fault::PointId pt_rot_replica_ = fault::kNoFaultPoint;
+  fault::PointId pt_rot_voted_ = fault::kNoFaultPoint;
 };
 
 }  // namespace hermes::boot

@@ -5,6 +5,17 @@
 
 namespace hermes::boot {
 
+void SpaceWireLink::attach_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ == nullptr) {
+    pt_corrupt_ = fault::kNoFaultPoint;
+    pt_drop_ = fault::kNoFaultPoint;
+    return;
+  }
+  pt_corrupt_ = injector_->register_point("spw.frame.corrupt");
+  pt_drop_ = injector_->register_point("spw.frame.drop");
+}
+
 bool SpaceWireLink::transfer(SpwPacket& packet, std::uint64_t& cycles) {
   // Frame: type + payload + CRC16 over both.
   std::vector<std::uint8_t> frame;
@@ -16,6 +27,19 @@ bool SpaceWireLink::transfer(SpwPacket& packet, std::uint64_t& cycles) {
 
   cycles += timing_.packet_overhead +
             static_cast<std::uint64_t>(frame.size()) * timing_.cycles_per_byte;
+
+  // Injected loss: the frame never reaches the receiver (cycles were still
+  // burned on the wire); the caller's retry loop re-sends it.
+  if (injector_ && injector_->should_fire(pt_drop_)) {
+    ++drops_;
+    return false;
+  }
+
+  // Injected upset: flip bits in the framed bytes, CRC included — the
+  // receiver-side CRC check below is what detects it.
+  if (injector_ && injector_->should_fire(pt_corrupt_)) {
+    injector_->mutate_bytes(pt_corrupt_, frame);
+  }
 
   // Wire corruption.
   if (ber_ > 0) {
@@ -45,6 +69,7 @@ bool SpaceWireLink::transfer(SpwPacket& packet, std::uint64_t& cycles) {
 Result<std::vector<std::uint8_t>> SpaceWireLink::fetch(std::string_view name,
                                                        std::uint64_t& cycles,
                                                        unsigned max_retries) {
+  const std::uint64_t deadline = cycles + timing_.deadline_cycles;
   const auto it = objects_.find(std::string(name));
   // The request packet still crosses the wire even for unknown objects.
   SpwPacket request;
@@ -71,6 +96,10 @@ Result<std::vector<std::uint8_t>> SpaceWireLink::fetch(std::string_view name,
     const std::size_t n = std::min(kChunk, object.size() - offset);
     bool delivered = false;
     for (unsigned attempt = 0; attempt <= max_retries; ++attempt) {
+      if (timing_.deadline_cycles != 0 && cycles >= deadline) {
+        return Status::Error(ErrorCode::kDeadlineExceeded,
+                             "SpaceWire fetch exceeded its cycle deadline");
+      }
       SpwPacket data;
       data.type = offset + n >= object.size() ? kSpwOpEnd : kSpwOpData;
       data.payload.assign(object.begin() + offset, object.begin() + offset + n);

@@ -15,12 +15,16 @@
 
 #include "common/status.hpp"
 #include "common/rng.hpp"
+#include "fault/injector.hpp"
 
 namespace hermes::boot {
 
 struct SpwTiming {
   unsigned cycles_per_byte = 10;  ///< ~100 Mbit at 1 GHz reference clock
   unsigned packet_overhead = 64;  ///< header + EOP handling
+  /// Upper bound on link cycles a single fetch() may consume before it gives
+  /// up with kDeadlineExceeded — a wedged link ends in an error, not a hang.
+  std::uint64_t deadline_cycles = 100'000'000;
 };
 
 /// One framed packet on the wire.
@@ -47,6 +51,11 @@ class SpaceWireLink {
     objects_[std::move(name)] = std::move(data);
   }
 
+  /// Registers this link's injection points ("spw.frame.corrupt" flips bits
+  /// in a frame on the wire — caught by CRC; "spw.frame.drop" loses the
+  /// frame entirely — the chunk retry loop re-sends it).
+  void attach_injector(fault::FaultInjector* injector);
+
   /// Requests an object; retries CRC-failed chunks up to `max_retries`.
   /// Returns the data; accumulates the transfer cycle count in `cycles`.
   Result<std::vector<std::uint8_t>> fetch(std::string_view name,
@@ -55,6 +64,7 @@ class SpaceWireLink {
 
   [[nodiscard]] std::uint64_t crc_errors_detected() const { return crc_errors_; }
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return drops_; }
 
  private:
   /// Wire transfer of one packet: charges cycles, maybe corrupts payload.
@@ -67,6 +77,10 @@ class SpaceWireLink {
   std::map<std::string, std::vector<std::uint8_t>> objects_;
   std::uint64_t crc_errors_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t drops_ = 0;
+  fault::FaultInjector* injector_ = nullptr;
+  fault::PointId pt_corrupt_ = fault::kNoFaultPoint;
+  fault::PointId pt_drop_ = fault::kNoFaultPoint;
 };
 
 }  // namespace hermes::boot

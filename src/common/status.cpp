@@ -13,6 +13,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kTimingViolation: return "timing_violation";
     case ErrorCode::kIntegrityError: return "integrity_error";
     case ErrorCode::kIsolationFault: return "isolation_fault";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kNotFound: return "not_found";
     case ErrorCode::kInternal: return "internal";
   }

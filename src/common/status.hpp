@@ -25,6 +25,7 @@ enum class ErrorCode {
   kTimingViolation,   ///< STA or scheduler could not meet the clock constraint
   kIntegrityError,    ///< checksum / signature mismatch (boot, bitstream)
   kIsolationFault,    ///< hypervisor space/time isolation violation
+  kDeadlineExceeded,  ///< bounded wait / watchdog expired (hang converted to error)
   kNotFound,
   kInternal,
 };

@@ -97,7 +97,7 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
 
   while (sink_tokens_done < sink_tokens_needed) {
     if (now > max_cycles) {
-      return Status::Error(ErrorCode::kTimingViolation,
+      return Status::Error(ErrorCode::kDeadlineExceeded,
                            format("dataflow simulation exceeded %llu cycles",
                                   static_cast<unsigned long long>(max_cycles)));
     }

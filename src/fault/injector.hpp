@@ -1,0 +1,130 @@
+// Unified, deterministic cross-layer fault-injection bus.
+//
+// HERMES (Secs. I, IV) argues the NG-ULTRA stack survives radiation because
+// every layer carries a protection mechanism: TMR-voted flash, EDAC memories,
+// integrity-checked boot objects, SpaceWire CRC framing, hypervisor health
+// monitoring. The seed reproduction could only upset raw memories and netlist
+// wires; this module is the missing half of the qualification argument — a
+// single injector that subsystems plug *named injection points* into, so one
+// FaultPlan can corrupt an AXI beat, force a SLVERR, stall a handshake, rot a
+// flash page on one TMR copy, drop a SpaceWire frame, or make a hypervisor
+// job overrun its budget, all from one seed, reproducibly.
+//
+// Determinism contract: every point owns a private Rng seeded from
+// (plan seed, point name). Firing decisions depend only on the sequence of
+// opportunities presented *at that point*, never on what other points or
+// subsystems do, so a fixed seed replays bit-identically regardless of which
+// subsystems are instantiated or in what order they register.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hermes::fault {
+
+/// Per-point injection schedule. An "opportunity" is one query of the point
+/// (one AXI beat delivered, one SpaceWire frame sent, one job released, ...);
+/// the opportunity index is the point's private clock.
+struct FaultSchedule {
+  double probability = 0.0;        ///< chance to fire per in-window opportunity
+  std::uint64_t window_begin = 0;  ///< first opportunity index eligible to fire
+  std::uint64_t window_end = ~0ULL;  ///< one past the last eligible opportunity
+  unsigned burst_len = 1;          ///< consecutive opportunities hit per firing
+  std::uint64_t max_fires = ~0ULL; ///< total budget (bursts count each hit)
+};
+
+/// One armed point of a plan.
+struct PointPlan {
+  std::string point;
+  FaultSchedule schedule;
+};
+
+/// A complete experiment: seed + the set of points to arm. Points not named
+/// by the plan never fire (and draw no randomness), so a plan is also a
+/// precise statement of which layers are under attack.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<PointPlan> points;
+
+  [[nodiscard]] const FaultSchedule* find(std::string_view name) const;
+};
+
+using PointId = std::size_t;
+inline constexpr PointId kNoFaultPoint = static_cast<PointId>(-1);
+
+struct PointStats {
+  std::uint64_t opportunities = 0;
+  std::uint64_t fires = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) { load_plan(std::move(plan)); }
+
+  /// Installs a plan: re-arms every registered point against it and resets
+  /// all counters/RNG state, so the same injector can replay many plans.
+  void load_plan(FaultPlan plan);
+
+  /// Subsystems call this at construction (or attach time). Registering an
+  /// existing name returns the same id with state preserved — a torn-down
+  /// and rebuilt subsystem continues the point's deterministic stream.
+  PointId register_point(std::string_view name);
+
+  /// kNoFaultPoint when the name was never registered.
+  [[nodiscard]] PointId find_point(std::string_view name) const;
+
+  /// One injection opportunity. Never fires for kNoFaultPoint or unarmed
+  /// points (and consumes no randomness there).
+  bool should_fire(PointId point);
+
+  /// XORs a random non-zero mask of `bits` width into `value` using the
+  /// point's private RNG (call after should_fire said yes).
+  std::uint64_t mutate_word(PointId point, std::uint64_t value,
+                            unsigned bits = 64);
+
+  /// Flips 1..8 random bits across `bytes` (page/frame rot).
+  void mutate_bytes(PointId point, std::span<std::uint8_t> bytes);
+
+  [[nodiscard]] const PointStats& stats(PointId point) const {
+    return points_[point].stats;
+  }
+  [[nodiscard]] const std::string& name(PointId point) const {
+    return points_[point].name;
+  }
+  [[nodiscard]] std::size_t num_points() const { return points_.size(); }
+  [[nodiscard]] std::uint64_t total_fires() const;
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct Point {
+    std::string name;
+    FaultSchedule schedule;   ///< all-zero probability when unarmed
+    bool armed = false;
+    Rng rng{0};
+    PointStats stats;
+    unsigned burst_remaining = 0;
+  };
+
+  void arm(Point& point);
+
+  FaultPlan plan_;
+  std::vector<Point> points_;
+};
+
+/// Every injection point the subsystems of this repo register, for plan
+/// generators that want full coverage. Kept in one place so the chaos soak
+/// and the docs cannot drift from the implementation.
+std::span<const std::string_view> default_point_catalog();
+
+/// Deterministic chaos plan: arms a random subset of `points` (default: the
+/// full catalog) with random schedules. Same seed -> identical plan.
+FaultPlan make_random_plan(std::uint64_t seed,
+                           std::span<const std::string_view> points = {});
+
+}  // namespace hermes::fault

@@ -242,10 +242,29 @@ Status Hypervisor::validate() const {
   return Status::Ok();
 }
 
+void Hypervisor::attach_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ == nullptr) {
+    pt_overrun_ = fault::kNoFaultPoint;
+    pt_crash_ = fault::kNoFaultPoint;
+    return;
+  }
+  pt_overrun_ = injector_->register_point("hv.job.overrun");
+  pt_crash_ = injector_->register_point("hv.partition.crash");
+}
+
 void Hypervisor::hm_raise(PartitionId id, HmEvent event, Time now) {
   const auto it = config_.hm_table.find(event);
-  const HmAction action = it == config_.hm_table.end() ? HmAction::kLog
-                                                       : it->second;
+  HmAction action = it == config_.hm_table.end() ? HmAction::kLog
+                                                 : it->second;
+  if (action == HmAction::kRestartPartition &&
+      state_[id].restarts >= config_.restart_budget) {
+    // Restart budget spent: escalate. First past the budget the partition is
+    // suspended (a system partition may still resume it); past that, halted.
+    action = state_[id].escalated ? HmAction::kHaltPartition
+                                  : HmAction::kSuspendPartition;
+    state_[id].escalated = true;
+  }
   hm_log_.push_back({now, id, event, action});
   switch (action) {
     case HmAction::kIgnore:
@@ -260,6 +279,8 @@ void Hypervisor::hm_raise(PartitionId id, HmEvent event, Time now) {
     case HmAction::kRestartPartition:
       for (ProcessRt& process : state_[id].processes) process.queue.clear();
       state_[id].state = PartitionState::kNormal;
+      ++state_[id].restarts;
+      ++stats_[id].restarts;
       break;
   }
 }
@@ -277,6 +298,12 @@ void Hypervisor::release_jobs(Time upto) {
             profile.deadline ? profile.deadline : profile.period;
         job.deadline = rt.next_release + rel_deadline;
         job.remaining = profile.wcet;
+        job.budget = profile.wcet;
+        if (injector_ && injector_->should_fire(pt_overrun_)) {
+          // Fault: this job will demand 8x its declared WCET. The budget
+          // watchdog in service() catches it the moment the budget is spent.
+          job.remaining = profile.wcet * 8;
+        }
         rt.queue.push_back(job);
         ++stats_[id].jobs_released;
         ++stats_[id].processes[p].jobs_released;
@@ -346,11 +373,31 @@ Time Hypervisor::service(PartitionId id, Time from, Time to) {
         horizon = std::min(horizon, other.release);
       }
     }
-    const Time slice = std::min<Time>(horizon - now, job.remaining);
+    Time slice = std::min<Time>(horizon - now, job.remaining);
+    if (!job.overrun_raised && job.consumed < job.budget) {
+      // The budget timer: a job is never run past its declared WCET without
+      // control returning to the monitor first.
+      slice = std::min<Time>(slice, job.budget - job.consumed);
+    }
     job.remaining -= slice;
+    job.consumed += slice;
     now += slice;
     st.cpu_time += slice;
     st.processes[pick].cpu_time += slice;
+
+    if (!job.overrun_raised && job.consumed >= job.budget &&
+        job.remaining > 0) {
+      // The job spent its whole declared WCET and still wants more — only
+      // possible when a fault inflated its demand. Raise kBudgetOverrun;
+      // the configured HM action decides what happens to the partition.
+      job.overrun_raised = true;
+      ++st.budget_overruns;
+      hm_raise(id, HmEvent::kBudgetOverrun, now);
+      if (rt.state != PartitionState::kNormal ||
+          rt.processes[pick].queue.empty()) {
+        break;  // HM suspended/halted/restarted the partition
+      }
+    }
 
     if (job.remaining == 0) {
       // Completion: run the functional payload, check the deadline.
@@ -367,6 +414,10 @@ Time Hypervisor::service(PartitionId id, Time from, Time to) {
       if (processes[pick].on_job) {
         PartitionApi api(*this, id, now);
         processes[pick].on_job(api);
+      }
+      if (injector_ && injector_->should_fire(pt_crash_)) {
+        // Fault: the partition crashes at this job boundary.
+        hm_raise(id, HmEvent::kPartitionError, now);
       }
       // The job callback may have fired an HM action that suspended, halted
       // or restarted this partition (restart clears the queues), so re-check
@@ -390,6 +441,8 @@ Result<RunStats> Hypervisor::run(Time duration) {
     state_[id].state = PartitionState::kNormal;
     state_[id].processes.assign(procs_[id].size(), {});
     state_[id].last_running = SIZE_MAX;
+    state_[id].restarts = 0;
+    state_[id].escalated = false;
     stats_[id] = {};
     stats_[id].processes.resize(procs_[id].size());
   }

@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "common/status.hpp"
+#include "fault/injector.hpp"
 #include "hv/ports.hpp"
 #include "hv/types.hpp"
 
@@ -92,6 +93,10 @@ struct HvConfig {
   std::vector<PortConfig> ports;
   std::vector<ChannelConfig> channels;
   Time context_switch_cost = 20;  ///< µs charged at every partition switch
+  /// How many HM-driven restarts a partition gets before the monitor
+  /// escalates: restart (x budget) -> suspend -> halt. A crash-looping
+  /// partition is taken out instead of thrashing the schedule forever.
+  unsigned restart_budget = 3;
   std::map<HmEvent, HmAction> hm_table = {
       {HmEvent::kMemoryViolation, HmAction::kSuspendPartition},
       {HmEvent::kDeadlineMiss, HmAction::kLog},
@@ -118,6 +123,8 @@ struct PartitionStats {
   Time cpu_time = 0;
   Time max_jitter = 0;        ///< release -> first service
   Time max_response = 0;      ///< release -> completion
+  std::uint64_t restarts = 0;         ///< HM-driven partition restarts
+  std::uint64_t budget_overruns = 0;  ///< jobs caught exceeding their WCET
   PartitionState final_state = PartitionState::kNormal;
   std::vector<ProcessStats> processes;  ///< one per guest process
 };
@@ -149,6 +156,12 @@ class Hypervisor {
   /// partition ids in range, MPU region overlap between partitions.
   [[nodiscard]] Status validate() const;
 
+  /// Registers this hypervisor's injection points ("hv.job.overrun" inflates
+  /// a job's demand past its declared WCET — the budget watchdog raises
+  /// kBudgetOverrun; "hv.partition.crash" raises kPartitionError at a job
+  /// completion — exercising the restart-budget escalation).
+  void attach_injector(fault::FaultInjector* injector);
+
   /// Runs `duration` microseconds (rounded down to whole major frames is NOT
   /// applied — the plan wraps mid-frame if needed).
   Result<RunStats> run(Time duration);
@@ -166,7 +179,10 @@ class Hypervisor {
     Time release = 0;
     Time deadline = 0;
     Time remaining = 0;
+    Time budget = 0;    ///< declared WCET (remaining may exceed it under fault)
+    Time consumed = 0;
     bool started = false;
+    bool overrun_raised = false;
     Time first_service = 0;
   };
 
@@ -179,6 +195,8 @@ class Hypervisor {
     PartitionState state = PartitionState::kNormal;
     std::vector<ProcessRt> processes;  ///< parallel to effective processes
     std::size_t last_running = SIZE_MAX;  ///< preemption detection
+    unsigned restarts = 0;   ///< HM restarts consumed from the budget
+    bool escalated = false;  ///< budget spent; next restart request halts
     [[nodiscard]] bool has_pending() const {
       for (const ProcessRt& rt : processes) {
         if (!rt.queue.empty()) return true;
@@ -217,6 +235,9 @@ class Hypervisor {
   std::size_t active_plan_ = 0;
   std::size_t pending_plan_ = 0;
   std::uint64_t plan_switches_ = 0;
+  fault::FaultInjector* injector_ = nullptr;
+  fault::PointId pt_overrun_ = fault::kNoFaultPoint;
+  fault::PointId pt_crash_ = fault::kNoFaultPoint;
 };
 
 }  // namespace hermes::hv

@@ -373,7 +373,7 @@ Result<std::uint64_t> Simulator::run_until(std::string_view port_name,
   while (get_output(port_name) == 0) {
     if (cycles_ - start >= max_cycles) {
       return Status::Error(
-          ErrorCode::kTimingViolation,
+          ErrorCode::kDeadlineExceeded,
           format("signal %.*s not asserted within %llu cycles",
                  static_cast<int>(port_name.size()), port_name.data(),
                  static_cast<unsigned long long>(max_cycles)));

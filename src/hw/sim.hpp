@@ -60,7 +60,8 @@ class Simulator {
 
   /// Runs until `port_name` (1-bit output, e.g. "done") reads 1, at most
   /// `max_cycles` cycles. Returns the number of cycles consumed, or
-  /// kTimingViolation if the bound was hit.
+  /// kDeadlineExceeded if the bound was hit (a stuck circuit ends in an
+  /// error, never a hang).
   Result<std::uint64_t> run_until(std::string_view port_name,
                                   std::uint64_t max_cycles);
 

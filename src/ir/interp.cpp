@@ -164,7 +164,7 @@ Result<ExecStats> Interpreter::run(std::span<const std::uint64_t> scalar_args,
     }
     ++pc;
   }
-  return Status::Error(ErrorCode::kTimingViolation,
+  return Status::Error(ErrorCode::kDeadlineExceeded,
                        format("interpreter exceeded %llu steps",
                               static_cast<unsigned long long>(max_steps)));
 }

@@ -1,0 +1,265 @@
+// Deterministic chaos soak: hundreds of seeded random fault plans thrown at
+// the boot chain, the AXI-backed HLS accelerator, and a hypervisor mission.
+// The invariant under every plan is the robustness contract of the stack:
+// a clean Status (or a clean success) — never a hang, never a crash, never
+// silent corruption — and bit-identical outcomes when a seed is replayed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "axi/hls_axi.hpp"
+#include "axi/slave_memory.hpp"
+#include "boot/bl.hpp"
+#include "boot/loadlist.hpp"
+#include "fault/injector.hpp"
+#include "hls/flow.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace hermes::fault {
+namespace {
+
+constexpr std::uint64_t kBootSeeds = 80;
+constexpr std::uint64_t kAxiSeeds = 60;
+constexpr std::uint64_t kHvSeeds = 80;
+static_assert(kBootSeeds + kAxiSeeds + kHvSeeds >= 200,
+              "the soak must cover at least 200 fault plans");
+
+/// FNV-1a accumulation over 64-bit words: the outcome fingerprint.
+std::uint64_t mix(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value;
+  return hash * 1099511628211ULL;
+}
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+
+constexpr std::string_view kBootPoints[] = {
+    "flash.rot.replica", "flash.rot.voted", "spw.frame.corrupt",
+    "spw.frame.drop"};
+constexpr std::string_view kAxiPoints[] = {
+    "axi.ar.stall", "axi.aw.stall", "axi.r.stall",
+    "axi.r.corrupt", "axi.r.slverr", "axi.b.slverr"};
+constexpr std::string_view kHvPoints[] = {"hv.job.overrun",
+                                          "hv.partition.crash"};
+
+// ---------------------------------------------------------------------------
+// Boot-chain scenario
+// ---------------------------------------------------------------------------
+
+std::uint64_t run_boot_once(std::uint64_t seed, bool* survived) {
+  FaultInjector injector(make_random_plan(seed, kBootPoints));
+  boot::BootEnvironment env;
+  env.attach_injector(&injector);
+
+  std::vector<std::uint8_t> bl1(1024);
+  for (std::size_t i = 0; i < bl1.size(); ++i) {
+    bl1[i] = static_cast<std::uint8_t>(i * 7 + 13);
+  }
+  boot::LoadList list;
+  boot::LoadEntry sw;
+  sw.kind = boot::LoadKind::kSoftware;
+  sw.name = "payload";
+  sw.dest_addr = boot::MemoryMap::kDdrBase + 0x1000;
+  list.entries.push_back(sw);
+  boot::LoadEntry app;
+  app.kind = boot::LoadKind::kBl2;
+  app.name = "app";
+  app.dest_addr = boot::MemoryMap::kDdrBase;
+  list.entries.push_back(app);
+  std::vector<std::vector<std::uint8_t>> images(2);
+  images[0].assign(1536, 0x3C);
+  images[1].assign(2048, 0xA5);
+  boot::stage_boot_media(env, bl1, list, images);
+
+  const boot::BootResult result = boot::run_boot_chain(env);
+
+  // Robustness contract: success means the chain went all the way and every
+  // deployed image passed its digest; failure must be a clean Status.
+  if (result.status.ok()) {
+    EXPECT_EQ(result.reached, boot::BootStage::kApplication);
+  } else {
+    EXPECT_NE(result.reached, boot::BootStage::kApplication);
+    EXPECT_FALSE(result.status.to_string().empty());
+  }
+  *survived = result.status.ok();
+
+  std::uint64_t hash = kFnvBasis;
+  hash = mix(hash, static_cast<std::uint64_t>(result.status.code()));
+  hash = mix(hash, static_cast<std::uint64_t>(result.reached));
+  hash = mix(hash, result.report.total_cycles);
+  hash = mix(hash, result.report.flash_corrected_bytes);
+  hash = mix(hash, result.report.spw_crc_errors);
+  hash = mix(hash, result.report.integrity_retries);
+  hash = mix(hash, result.report.spw_fallbacks);
+  hash = mix(hash, result.report.steps.size());
+  hash = mix(hash, injector.total_fires());
+  return hash;
+}
+
+TEST(ChaosSoak, BootChainUnderRandomFaultPlans) {
+  std::uint64_t survivors = 0, armed = 0;
+  for (std::uint64_t seed = 1; seed <= kBootSeeds; ++seed) {
+    bool survived_a = false, survived_b = false;
+    const std::uint64_t a = run_boot_once(seed, &survived_a);
+    const std::uint64_t b = run_boot_once(seed, &survived_b);
+    ASSERT_EQ(a, b) << "seed " << seed << " is not deterministic";
+    ASSERT_EQ(survived_a, survived_b);
+    survivors += survived_a ? 1 : 0;
+    armed += make_random_plan(seed, kBootPoints).points.size();
+  }
+  // The campaign must be a real one: faults armed on every seed, and the
+  // recovery ladders must save a decent share of the missions.
+  EXPECT_GE(armed, kBootSeeds);
+  EXPECT_GT(survivors, kBootSeeds / 4);
+}
+
+// ---------------------------------------------------------------------------
+// AXI-backed accelerator scenario
+// ---------------------------------------------------------------------------
+
+std::uint64_t run_axi_once(const hls::FlowResult& flow,
+                           const axi::AxiMap& map, std::uint64_t seed,
+                           bool* survived) {
+  FaultInjector injector(make_random_plan(seed, kAxiPoints));
+  axi::AxiSlaveMemory ddr(1 << 16, axi::MemoryTiming{});
+  ddr.attach_injector(&injector);
+  for (std::size_t i = 0; i < 32; ++i) {
+    ddr.poke_word(map.base_addr.at(0) + i * 4, i * 5 + 2, 4);
+  }
+  axi::MasterConfig config;
+  config.watchdog_cycles = 10'000;  // keep tripped-transaction cost bounded
+  auto run = axi::run_with_axi(flow, {3}, ddr, map, axi::AxiMode::kDmaBurst,
+                               {}, 2'000'000, config);
+
+  std::uint64_t hash = kFnvBasis;
+  if (run.ok()) {
+    // Corrupted-but-OKAY read beats (axi.r.corrupt) are invisible to the
+    // protocol, so the end-to-end golden compare is the detector: a mismatch
+    // is legal ONLY when that point actually fired, and it must be flagged
+    // through `match` — never silent.
+    if (!run.value().match) {
+      const PointId corrupt = injector.find_point("axi.r.corrupt");
+      const bool attributable =
+          corrupt != kNoFaultPoint && injector.stats(corrupt).fires > 0;
+      EXPECT_TRUE(attributable)
+          << "silent corruption: " << run.value().mismatch;
+    }
+    hash = mix(hash, run.value().match ? 1u : 0u);
+    hash = mix(hash, run.value().return_value);
+    hash = mix(hash, run.value().total_cycles);
+    hash = mix(hash, run.value().bus.retries);
+    hash = mix(hash, run.value().bus.errors);
+    hash = mix(hash, run.value().bus.watchdog_trips);
+    for (std::size_t i = 0; i < 32; ++i) {
+      hash = mix(hash, ddr.peek_word(map.base_addr.at(0) + i * 4, 4));
+    }
+  } else {
+    // Failed clean: one of the error paths the master is allowed to take.
+    const ErrorCode code = run.status().code();
+    EXPECT_TRUE(code == ErrorCode::kInternal ||
+                code == ErrorCode::kInvalidArgument ||
+                code == ErrorCode::kDeadlineExceeded)
+        << run.status().to_string();
+    hash = mix(hash, static_cast<std::uint64_t>(code));
+  }
+  *survived = run.ok();
+  hash = mix(hash, injector.total_fires());
+  return hash;
+}
+
+TEST(ChaosSoak, AxiAcceleratorUnderRandomFaultPlans) {
+  const char* source = R"(
+    void scale(int32_t data[32], int factor) {
+      for (int i = 0; i < 32; i = i + 1) {
+        data[i] = data[i] * factor + 1;
+      }
+    }
+  )";
+  hls::FlowOptions options;
+  options.top = "scale";
+  auto flow = hls::run_flow(source, options);
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  const axi::AxiMap map = axi::default_axi_map(flow.value().function);
+
+  std::uint64_t survivors = 0;
+  for (std::uint64_t seed = 1; seed <= kAxiSeeds; ++seed) {
+    bool survived_a = false, survived_b = false;
+    const std::uint64_t a = run_axi_once(flow.value(), map, seed, &survived_a);
+    const std::uint64_t b = run_axi_once(flow.value(), map, seed, &survived_b);
+    ASSERT_EQ(a, b) << "seed " << seed << " is not deterministic";
+    ASSERT_EQ(survived_a, survived_b);
+    survivors += survived_a ? 1 : 0;
+  }
+  // Bounded retries must carry a decent share of transfers through.
+  EXPECT_GT(survivors, kAxiSeeds / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Hypervisor mission scenario
+// ---------------------------------------------------------------------------
+
+std::uint64_t run_hv_once(std::uint64_t seed) {
+  hv::HvConfig config;
+  config.plan.major_frame = 1000;
+  config.plan.per_core.assign(hv::kNumCores, {});
+  config.plan.per_core[0] = {{0, 450, 0, 0}, {500, 450, 1, 0}};
+  config.plan.per_core[1] = {{0, 900, 2, 0}};
+  hv::PartitionConfig aocs;
+  aocs.name = "aocs";
+  aocs.region = {0x0000, 0x1000};
+  aocs.profile = {1000, 0, 200};
+  hv::PartitionConfig vbn;
+  vbn.name = "vbn";
+  vbn.region = {0x1000, 0x1000};
+  vbn.profile = {1000, 0, 300};
+  hv::PartitionConfig eor;
+  eor.name = "eor";
+  eor.region = {0x2000, 0x1000};
+  eor.profile = {2000, 0, 400};
+  config.partitions = {aocs, vbn, eor};
+  config.restart_budget = 3;
+  config.hm_table[hv::HmEvent::kBudgetOverrun] =
+      hv::HmAction::kRestartPartition;
+
+  FaultInjector injector(make_random_plan(seed, kHvPoints));
+  hv::Hypervisor hv(config);
+  hv.attach_injector(&injector);
+  auto stats = hv.run(30'000);
+  EXPECT_TRUE(stats.ok()) << stats.status().to_string();
+  if (!stats.ok()) return 0;
+
+  std::uint64_t hash = kFnvBasis;
+  const hv::RunStats& run = stats.value();
+  for (const hv::PartitionStats& partition : run.partitions) {
+    // The escalation ladder caps restarts; a partition is never left in an
+    // inconsistent state.
+    EXPECT_LE(partition.restarts, config.restart_budget);
+    EXPECT_TRUE(partition.final_state == hv::PartitionState::kNormal ||
+                partition.final_state == hv::PartitionState::kSuspended ||
+                partition.final_state == hv::PartitionState::kHalted);
+    hash = mix(hash, partition.jobs_completed);
+    hash = mix(hash, partition.restarts);
+    hash = mix(hash, partition.budget_overruns);
+    hash = mix(hash, partition.deadline_misses);
+    hash = mix(hash, static_cast<std::uint64_t>(partition.final_state));
+  }
+  hash = mix(hash, run.hm_log.size());
+  for (const hv::HmLogEntry& entry : run.hm_log) {
+    hash = mix(hash, entry.when);
+    hash = mix(hash, static_cast<std::uint64_t>(entry.event));
+    hash = mix(hash, static_cast<std::uint64_t>(entry.action));
+  }
+  hash = mix(hash, injector.total_fires());
+  return hash;
+}
+
+TEST(ChaosSoak, HypervisorMissionUnderRandomFaultPlans) {
+  for (std::uint64_t seed = 1; seed <= kHvSeeds; ++seed) {
+    const std::uint64_t a = run_hv_once(seed);
+    const std::uint64_t b = run_hv_once(seed);
+    ASSERT_EQ(a, b) << "seed " << seed << " is not deterministic";
+    ASSERT_NE(a, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::fault

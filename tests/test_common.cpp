@@ -25,6 +25,11 @@ TEST(Status, CarriesCodeAndMessage) {
   EXPECT_EQ(status.to_string(), "parse_error: bad token");
 }
 
+TEST(Status, DeadlineExceededRenders) {
+  const Status status = Status::Error(ErrorCode::kDeadlineExceeded, "stuck");
+  EXPECT_EQ(status.to_string(), "deadline_exceeded: stuck");
+}
+
 TEST(Result, ValueAndError) {
   Result<int> ok(42);
   EXPECT_TRUE(ok.ok());

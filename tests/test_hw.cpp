@@ -253,7 +253,7 @@ TEST(Sim, RunUntilTimesOut) {
   ASSERT_TRUE(sim.status().ok());
   auto result = sim.run_until("done", 100);
   EXPECT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), ErrorCode::kTimingViolation);
+  EXPECT_EQ(result.status().code(), ErrorCode::kDeadlineExceeded);
 }
 
 TEST(Sim, CounterCircuit) {

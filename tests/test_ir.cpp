@@ -144,7 +144,7 @@ TEST(Interp, StepLimitEnforced) {
   Interpreter interp(fn);
   auto r = interp.run({}, 10'000);
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), ErrorCode::kTimingViolation);
+  EXPECT_EQ(r.status().code(), ErrorCode::kDeadlineExceeded);
 }
 
 TEST(Interp, OutOfBoundsSemantics) {
