@@ -14,9 +14,11 @@
 #include "axi/slave_memory.hpp"
 #include "boot/bl.hpp"
 #include "boot/loadlist.hpp"
+#include "dataflow/taskgraph.hpp"
 #include "fault/injector.hpp"
 #include "hls/flow.hpp"
 #include "hv/hypervisor.hpp"
+#include "nxmap/bitstream.hpp"
 
 namespace {
 
@@ -30,6 +32,24 @@ constexpr std::string_view kAxiPoints[] = {
     "axi.r.corrupt", "axi.r.slverr", "axi.b.slverr"};
 constexpr std::string_view kHvPoints[] = {"hv.job.overrun",
                                           "hv.partition.crash"};
+constexpr std::string_view kEfpgaPoints[] = {
+    "efpga.prog.header.corrupt", "efpga.prog.frame.corrupt",
+    "efpga.prog.frame.drop", "efpga.config.rot"};
+constexpr std::string_view kDataflowPoints[] = {
+    "df.node.transient", "df.node.overrun", "df.node.permanent"};
+
+std::vector<std::uint8_t> bench_bitstream(unsigned frames_count,
+                                          std::size_t words_per_frame) {
+  std::vector<nx::BitstreamFrame> frames(frames_count);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    frames[f].column = static_cast<std::uint32_t>(f);
+    for (std::size_t w = 0; w < words_per_frame; ++w) {
+      frames[f].words.push_back(
+          static_cast<std::uint32_t>((f << 20) ^ (w * 0x9E3779B9u)));
+    }
+  }
+  return nx::pack_raw_bitstream(/*device_id=*/0xBEC5, frames);
+}
 
 void BM_ChaosBoot(benchmark::State& state) {
   std::uint64_t plans = 0, survived = 0, fires = 0;
@@ -141,6 +161,96 @@ void BM_ChaosHypervisor(benchmark::State& state) {
   state.counters["fires"] = static_cast<double>(fires);
 }
 BENCHMARK(BM_ChaosHypervisor)->Unit(benchmark::kMillisecond);
+
+void BM_ChaosEfpgaProgramming(benchmark::State& state) {
+  const std::vector<std::uint8_t> image = bench_bitstream(8, 64);
+  std::uint64_t plans = 0, survived = 0, rewrites = 0, fires = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fault::FaultInjector injector(
+        fault::make_random_plan(seed++, kEfpgaPoints));
+    boot::Soc soc;
+    soc.attach_injector(&injector);
+    const Status status = soc.program_efpga(image);
+    ++plans;
+    survived += status.ok() ? 1 : 0;
+    rewrites += soc.efpga_stats().frame_rewrites +
+                soc.efpga_stats().header_rewrites;
+    fires += injector.total_fires();
+    benchmark::DoNotOptimize(soc.efpga_config_digest());
+  }
+  state.counters["plans"] = static_cast<double>(plans);
+  state.counters["survived"] = static_cast<double>(survived);
+  state.counters["rewrites"] = static_cast<double>(rewrites);
+  state.counters["fires"] = static_cast<double>(fires);
+}
+BENCHMARK(BM_ChaosEfpgaProgramming)->Unit(benchmark::kMillisecond);
+
+void BM_ChaosDataflowRetry(benchmark::State& state) {
+  std::uint64_t plans = 0, survived = 0, retries = 0, fires = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fault::FaultInjector injector(
+        fault::make_random_plan(seed++, kDataflowPoints));
+    df::TaskGraph graph;
+    const std::size_t src = graph.add_task({"src", 2, 0, 2, 10});
+    const std::size_t sink = graph.add_task({"sink", 3, 0, 3, 10});
+    for (unsigned w = 0; w < 3; ++w) {
+      const std::size_t worker =
+          graph.add_task({"w" + std::to_string(w), 5 + w, 0, 4, 50});
+      graph.connect(src, worker);
+      graph.connect(worker, sink);
+    }
+    graph.sources = {src};
+    graph.sinks = {sink};
+    df::DataflowOptions options;
+    options.injector = &injector;
+    df::DataflowStats stats;
+    options.stats_out = &stats;
+    auto run = df::simulate_dataflow(graph, 8, options);
+    ++plans;
+    survived += run.ok() ? 1 : 0;
+    retries += stats.node_retries;
+    fires += injector.total_fires();
+    benchmark::DoNotOptimize(stats.makespan);
+  }
+  state.counters["plans"] = static_cast<double>(plans);
+  state.counters["survived"] = static_cast<double>(survived);
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["fires"] = static_cast<double>(fires);
+}
+BENCHMARK(BM_ChaosDataflowRetry)->Unit(benchmark::kMillisecond);
+
+// Readback-scrub throughput: how many configuration frames per second the
+// scrub pass sustains under a steady static-upset drizzle.
+void BM_EfpgaScrubThroughput(benchmark::State& state) {
+  const auto frames_count = static_cast<unsigned>(state.range(0));
+  const std::vector<std::uint8_t> image = bench_bitstream(frames_count, 64);
+  fault::FaultSchedule rot;
+  rot.probability = 0.05;  // ~1 upset per 20 frame scrubs
+  fault::FaultPlan plan;
+  plan.seed = 17;
+  plan.points.push_back({"efpga.config.rot", rot});
+  fault::FaultInjector injector(plan);
+  boot::Soc soc;
+  soc.attach_injector(&injector);
+  if (const Status status = soc.program_efpga(image); !status.ok()) {
+    state.SkipWithError(status.to_string().c_str());
+    return;
+  }
+
+  std::uint64_t frames_scrubbed = 0, healed = 0;
+  for (auto _ : state) {
+    healed += soc.scrub_efpga();
+    frames_scrubbed += frames_count;
+  }
+  state.counters["frames_per_sec"] = benchmark::Counter(
+      static_cast<double>(frames_scrubbed), benchmark::Counter::kIsRate);
+  state.counters["healed_words"] = static_cast<double>(healed);
+  state.counters["silent"] =
+      static_cast<double>(soc.efpga_stats().scrub_silent);
+}
+BENCHMARK(BM_EfpgaScrubThroughput)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

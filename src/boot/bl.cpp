@@ -56,6 +56,8 @@ std::vector<std::uint8_t> BootReport::serialize() const {
   put_u64(spw_crc_errors);
   put_u64(integrity_retries);
   put_u64(spw_fallbacks);
+  put_u64(efpga_frame_rewrites);
+  put_u64(efpga_scrub_corrections);
   for (const StepRecord& step : steps) {
     char name[24] = {0};
     for (std::size_t i = 0; i < step.name.size() && i < 23; ++i) {
@@ -75,14 +77,14 @@ Result<BootReport> parse_boot_report(std::span<const std::uint8_t> data) {
     for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[o + i]) << (8 * i);
     return v;
   };
-  if (data.size() < 52) {
+  if (data.size() < 68) {
     return Status::Error(ErrorCode::kIntegrityError, "boot report truncated");
   }
   if (get_u32(data, 0) != kBootReportMagic) {
     return Status::Error(ErrorCode::kIntegrityError, "bad boot-report magic");
   }
   const std::uint32_t count = get_u32(data, 4);
-  const std::size_t expected = 48 + static_cast<std::size_t>(count) * 33 + 4;
+  const std::size_t expected = 64 + static_cast<std::size_t>(count) * 33 + 4;
   if (data.size() < expected) {
     return Status::Error(ErrorCode::kIntegrityError, "boot report truncated");
   }
@@ -95,7 +97,9 @@ Result<BootReport> parse_boot_report(std::span<const std::uint8_t> data) {
   report.spw_crc_errors = get_u64(24);
   report.integrity_retries = get_u64(32);
   report.spw_fallbacks = get_u64(40);
-  std::size_t offset = 48;
+  report.efpga_frame_rewrites = get_u64(48);
+  report.efpga_scrub_corrections = get_u64(56);
+  std::size_t offset = 64;
   for (std::uint32_t i = 0; i < count; ++i) {
     StepRecord step;
     const char* name = reinterpret_cast<const char*>(data.data() + offset);
@@ -126,6 +130,9 @@ std::string BootReport::render() const {
                 static_cast<unsigned long long>(spw_crc_errors),
                 static_cast<unsigned long long>(integrity_retries),
                 static_cast<unsigned long long>(spw_fallbacks));
+  out << format("  eFPGA frame re-writes %llu; config scrub corrections %llu\n",
+                static_cast<unsigned long long>(efpga_frame_rewrites),
+                static_cast<unsigned long long>(efpga_scrub_corrections));
   return out.str();
 }
 
@@ -409,6 +416,25 @@ Status run_bl1(BootEnvironment& env, const BootOptions& options,
                 static_cast<unsigned long long>(entry.dest_addr)));
     if (!deploy.ok()) return deploy;
   }
+
+  // --- configuration-memory scrub (only when a bitstream was deployed) ---
+  // One readback/scrub pass over the programmed eFPGA frames: single-bit
+  // config-memory upsets are corrected, uncorrectable words force a frame
+  // re-program from the retained configuration. Mission software re-runs
+  // this periodically; BL1 runs the first pass before the handoff.
+  if (env.soc.efpga_programmed) {
+    // scrub_efpga charges its own cycles; the step records 0 extra.
+    const std::uint64_t healed = env.soc.scrub_efpga();
+    const EfpgaStats& efpga = env.soc.efpga_stats();
+    step("scrub_efpga", 0, Status::Ok(),
+         format("%llu words healed, %llu frames reprogrammed",
+                static_cast<unsigned long long>(healed),
+                static_cast<unsigned long long>(efpga.frames_reprogrammed)));
+  }
+  report.efpga_frame_rewrites = env.soc.efpga_stats().frame_rewrites +
+                                env.soc.efpga_stats().header_rewrites;
+  report.efpga_scrub_corrections = env.soc.efpga_stats().scrub_corrected +
+                                   env.soc.efpga_stats().frames_reprogrammed;
 
   result.bl1_cycles = env.soc.cycles - start_cycles;
   report.spw_crc_errors = env.spacewire.crc_errors_detected();

@@ -62,6 +62,8 @@ struct BootReport {
   std::uint64_t spw_crc_errors = 0;
   std::uint64_t integrity_retries = 0;
   std::uint64_t spw_fallbacks = 0;  ///< flash gave up -> SpaceWire recovery
+  std::uint64_t efpga_frame_rewrites = 0;  ///< programming-path readback saves
+  std::uint64_t efpga_scrub_corrections = 0;  ///< config-memory words healed
   [[nodiscard]] std::string render() const;
 
   /// Binary serialization (magic + counters + per-step records + CRC-32).
@@ -98,10 +100,12 @@ struct BootEnvironment {
       : flash(2 * 1024 * 1024, flash_replicas),
         spacewire(SpwTiming{}, spw_bit_error_rate) {}
 
-  /// Wires one injector into every boot-chain device.
+  /// Wires one injector into every boot-chain device, including the eFPGA
+  /// configuration port.
   void attach_injector(fault::FaultInjector* injector) {
     flash.attach_injector(injector);
     spacewire.attach_injector(injector);
+    soc.attach_injector(injector);
   }
 };
 

@@ -9,10 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "common/status.hpp"
+#include "fault/injector.hpp"
+#include "fault/scrub_memory.hpp"
 #include "hv/types.hpp"
 #include "nxmap/bitstream.hpp"
 
@@ -31,6 +34,33 @@ struct MpuRegion {
   std::uint64_t base = 0;
   std::uint64_t size = 0;
   bool writable = true;
+};
+
+/// Knobs of the eFPGA programming-path recovery ladder.
+struct EfpgaProgConfig {
+  /// Re-writes allowed per frame (and for the header) after a failed
+  /// readback before programming escalates to kInternal.
+  unsigned rewrite_budget = 4;
+  /// Idle cycles before re-write attempt n (doubles each attempt), mirroring
+  /// the AXI retry backoff.
+  std::uint64_t rewrite_backoff_cycles = 16;
+  /// Cycles per configuration word written or read back.
+  std::uint64_t cycles_per_word = 1;
+};
+
+/// Counters of the eFPGA programming path and configuration-memory scrub —
+/// the observable record of every upset hit, caught, and repaired.
+struct EfpgaStats {
+  std::uint64_t frames_programmed = 0;
+  std::uint64_t frame_crc_mismatches = 0;  ///< readback caught a bad/lost write
+  std::uint64_t frame_rewrites = 0;        ///< bounded re-writes taken
+  std::uint64_t header_rewrites = 0;
+  std::uint64_t prog_failures = 0;         ///< re-write budget exhausted
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_corrected = 0;       ///< EDAC single-bit corrections
+  std::uint64_t scrub_uncorrectable = 0;   ///< double upsets detected
+  std::uint64_t frames_reprogrammed = 0;   ///< uncorrectable -> frame re-write
+  std::uint64_t scrub_silent = 0;          ///< must stay zero: silent rot
 };
 
 class Soc {
@@ -55,10 +85,17 @@ class Soc {
   bool efpga_programmed = false;
   std::uint32_t efpga_device_id = 0;
   unsigned efpga_frames = 0;
+  EfpgaProgConfig efpga_cfg;
 
   // ---- cycle accounting ----
   std::uint64_t cycles = 0;
   void charge(std::uint64_t n) { cycles += n; }
+
+  /// Registers the eFPGA programming-path injection points
+  /// ("efpga.prog.header.corrupt", "efpga.prog.frame.corrupt",
+  /// "efpga.prog.frame.drop" strike writes in flight; "efpga.config.rot"
+  /// upsets the static configuration memory between scrub passes).
+  void attach_injector(fault::FaultInjector* injector);
 
   // ---- memory access through the map ----
   /// Fails when the target region's controller is not initialized or the
@@ -66,8 +103,29 @@ class Soc {
   Status write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data);
   Status read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const;
 
-  /// Programs the eFPGA from a bitstream image (integrity-checked).
+  /// Programs the eFPGA from a bitstream image. The image is integrity-
+  /// checked up front (a corrupt image is rejected before any frame is
+  /// written), then written frame by frame into the EDAC-protected
+  /// configuration memory with a per-frame CRC readback after each write.
+  /// A failed readback (in-flight corruption or a dropped write) triggers a
+  /// bounded re-write with backoff; an exhausted budget escalates to
+  /// kInternal and leaves any previously active configuration untouched.
   Status program_efpga(std::span<const std::uint8_t> bitstream);
+
+  /// One scrub pass over the programmed configuration memory: every frame's
+  /// words are read through EDAC, single-bit upsets are corrected in place,
+  /// detected-uncorrectable words force a frame re-program from the retained
+  /// golden configuration. Injector point "efpga.config.rot" gets one
+  /// opportunity per frame to rot the raw storage first. Returns the
+  /// corrected + reprogrammed word count of this pass.
+  std::uint64_t scrub_efpga();
+
+  [[nodiscard]] const EfpgaStats& efpga_stats() const { return efpga_stats_; }
+
+  /// FNV-1a fingerprint of the decoded configuration words (frame directory
+  /// included) — the chaos soak compares it against the staged bitstream to
+  /// prove no corrupt frame was silently accepted.
+  [[nodiscard]] std::uint64_t efpga_config_digest() const;
 
   [[nodiscard]] std::size_t ddr_size() const { return ddr_.size(); }
 
@@ -76,7 +134,24 @@ class Soc {
                  std::vector<std::uint8_t> const** region,
                  std::uint64_t* offset) const;
 
+  /// Directory entry: where a frame's payload lives in config memory.
+  struct EfpgaFrameDir {
+    std::uint32_t column = 0;
+    std::size_t offset = 0;  ///< first word index in the config memory
+    std::size_t words = 0;
+    std::uint32_t crc = 0;   ///< expected frame CRC from the image
+  };
+
   std::vector<std::uint8_t> tcm_, sram_, ddr_;
+
+  std::optional<fault::ScrubMemory> efpga_config_;
+  std::vector<EfpgaFrameDir> efpga_dir_;
+  EfpgaStats efpga_stats_;
+  fault::FaultInjector* injector_ = nullptr;
+  fault::PointId pt_header_corrupt_ = fault::kNoFaultPoint;
+  fault::PointId pt_frame_corrupt_ = fault::kNoFaultPoint;
+  fault::PointId pt_frame_drop_ = fault::kNoFaultPoint;
+  fault::PointId pt_config_rot_ = fault::kNoFaultPoint;
 };
 
 }  // namespace hermes::boot

@@ -33,6 +33,16 @@ enum class ErrorCode {
 /// Human-readable name of an ErrorCode ("ok", "parse_error", ...).
 const char* to_string(ErrorCode code);
 
+/// True for transient failures a bounded retry ladder may re-attempt:
+/// kInternal (subsystem hiccup, e.g. SLVERR or an injected node fault) and
+/// kDeadlineExceeded (a bounded wait expired). Every other code is permanent
+/// for the caller that observed it and must propagate unchanged. The dataflow
+/// node re-execution policy retries exactly this set; the AXI master retries
+/// the kInternal subset (a watchdog-abandoned transaction is not re-issued).
+constexpr bool is_retriable(ErrorCode code) {
+  return code == ErrorCode::kInternal || code == ErrorCode::kDeadlineExceeded;
+}
+
 /// A success-or-error value. Cheap to copy on the success path.
 class Status {
  public:

@@ -25,10 +25,23 @@ Task task_from_flow(const hls::FlowResult& flow, std::uint64_t measured_latency)
 
 Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
                                         std::uint64_t input_tokens,
-                                        std::uint64_t max_cycles) {
+                                        const DataflowOptions& options) {
   const std::size_t n = graph.tasks.size();
   if (n == 0) {
     return Status::Error(ErrorCode::kInvalidArgument, "empty task graph");
+  }
+
+  // Node fault points: one opportunity each per firing completion, in a
+  // fixed order (permanent, transient, overrun) so a plan's firing pattern
+  // is independent of simulation timing.
+  fault::FaultInjector* injector = options.injector;
+  fault::PointId pt_permanent = fault::kNoFaultPoint;
+  fault::PointId pt_transient = fault::kNoFaultPoint;
+  fault::PointId pt_overrun = fault::kNoFaultPoint;
+  if (injector) {
+    pt_permanent = injector->register_point("df.node.permanent");
+    pt_transient = injector->register_point("df.node.transient");
+    pt_overrun = injector->register_point("df.node.overrun");
   }
 
   std::vector<std::size_t> occupancy(graph.channels.size(), 0);
@@ -45,6 +58,7 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
   struct Firing {
     std::uint64_t completes_at;
     std::size_t task;
+    unsigned attempt;
   };
   auto cmp = [](const Firing& a, const Firing& b) {
     return a.completes_at > b.completes_at;
@@ -56,10 +70,17 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
   for (std::size_t s : graph.sinks) outputs_remaining[s] = input_tokens;
 
   DataflowStats stats;
+  stats.retries_per_task.assign(n, 0);
   std::uint64_t now = 0;
   const std::uint64_t sink_tokens_needed =
       static_cast<std::uint64_t>(graph.sinks.size()) * input_tokens;
   std::uint64_t sink_tokens_done = 0;
+
+  const auto finish = [&](Status status) -> Result<DataflowStats> {
+    stats.makespan = now;
+    if (options.stats_out) *options.stats_out = stats;
+    return status;
+  };
 
   auto can_fire = [&](std::size_t t) {
     if (now < next_start[t]) return false;
@@ -90,16 +111,66 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
         graph.sources.end();
     if (is_source && pending_inputs[t] > 0) --pending_inputs[t];
     for (std::size_t c : in_channels[t]) --occupancy[c];
-    in_flight.push({now + graph.tasks[t].latency, t});
+    in_flight.push({now + graph.tasks[t].latency, t, 0});
     next_start[t] = now + graph.tasks[t].initiation();
     busy_cycles[t] += graph.tasks[t].latency;
   };
 
+  // Handles one completed firing: applies injected node faults, walks the
+  // retry ladder (bounded re-execution with input re-read for retriable
+  // codes, immediate propagation for permanent ones), and on success emits
+  // the output tokens.
+  auto complete = [&](const Firing& firing) -> Status {
+    const std::size_t t = firing.task;
+    Status fault = Status::Ok();
+    if (injector) {
+      if (injector->should_fire(pt_permanent)) {
+        fault = Status::Error(
+            ErrorCode::kInvalidArgument,
+            format("node %zu (%s): permanent fault (bad operand)", t,
+                   graph.tasks[t].name.c_str()));
+      } else if (injector->should_fire(pt_transient)) {
+        fault = Status::Error(ErrorCode::kInternal,
+                              format("node %zu (%s): transient execution fault",
+                                     t, graph.tasks[t].name.c_str()));
+      } else if (injector->should_fire(pt_overrun)) {
+        fault = Status::Error(
+            ErrorCode::kDeadlineExceeded,
+            format("node %zu (%s): firing overran its budget", t,
+                   graph.tasks[t].name.c_str()));
+      }
+    }
+    if (!fault.ok()) {
+      if (is_retriable(fault.code()) &&
+          firing.attempt < options.retry.max_retries) {
+        // Re-execute: the inputs were re-read from the retained tokens, the
+        // task is busy for another latency after an exponential backoff.
+        ++stats.node_retries;
+        ++stats.retries_per_task[t];
+        const std::uint64_t backoff = options.retry.backoff_cycles
+                                      << firing.attempt;
+        busy_cycles[t] += graph.tasks[t].latency;
+        in_flight.push(
+            {now + backoff + graph.tasks[t].latency, t, firing.attempt + 1});
+        return Status::Ok();
+      }
+      ++stats.node_failures;
+      return fault;  // permanent, or retry budget exhausted: original code
+    }
+    for (std::size_t c : out_channels[t]) ++occupancy[c];
+    if (std::find(graph.sinks.begin(), graph.sinks.end(), t) !=
+        graph.sinks.end()) {
+      ++sink_tokens_done;
+    }
+    return Status::Ok();
+  };
+
   while (sink_tokens_done < sink_tokens_needed) {
-    if (now > max_cycles) {
-      return Status::Error(ErrorCode::kDeadlineExceeded,
-                           format("dataflow simulation exceeded %llu cycles",
-                                  static_cast<unsigned long long>(max_cycles)));
+    if (now > options.max_cycles) {
+      return finish(Status::Error(
+          ErrorCode::kDeadlineExceeded,
+          format("dataflow simulation exceeded %llu cycles",
+                 static_cast<unsigned long long>(options.max_cycles))));
     }
     // Fire everything ready at `now`.
     bool progress = true;
@@ -114,28 +185,20 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
     }
     // Advance to the next completion.
     if (in_flight.empty()) {
-      return Status::Error(ErrorCode::kInternal,
-                           "dataflow deadlock: no firings in flight");
+      return finish(Status::Error(ErrorCode::kInternal,
+                                  "dataflow deadlock: no firings in flight"));
     }
     const Firing firing = in_flight.top();
     in_flight.pop();
     now = std::max(now, firing.completes_at);
-    // Emit output tokens.
-    const std::size_t t = firing.task;
-    for (std::size_t c : out_channels[t]) ++occupancy[c];
-    if (std::find(graph.sinks.begin(), graph.sinks.end(), t) !=
-        graph.sinks.end()) {
-      ++sink_tokens_done;
-    }
+    Status status = complete(firing);
+    if (!status.ok()) return finish(std::move(status));
     // Drain all completions at the same instant.
     while (!in_flight.empty() && in_flight.top().completes_at == now) {
       const Firing other = in_flight.top();
       in_flight.pop();
-      for (std::size_t c : out_channels[other.task]) ++occupancy[c];
-      if (std::find(graph.sinks.begin(), graph.sinks.end(), other.task) !=
-          graph.sinks.end()) {
-        ++sink_tokens_done;
-      }
+      status = complete(other);
+      if (!status.ok()) return finish(std::move(status));
     }
   }
 
@@ -154,7 +217,16 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
   }
   stats.controller_states += 2 * graph.channels.size();
   stats.luts += 16 * graph.channels.size();  // FIFO control + flags
+  if (options.stats_out) *options.stats_out = stats;
   return stats;
+}
+
+Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
+                                        std::uint64_t input_tokens,
+                                        std::uint64_t max_cycles) {
+  DataflowOptions options;
+  options.max_cycles = max_cycles;
+  return simulate_dataflow(graph, input_tokens, options);
 }
 
 MonolithicStats estimate_monolithic(const TaskGraph& graph) {

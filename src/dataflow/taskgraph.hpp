@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fault/injector.hpp"
 #include "hls/flow.hpp"
 
 namespace hermes::df {
@@ -72,7 +73,34 @@ struct DataflowStats {
   double avg_utilization = 0.0;      ///< busy-cycle fraction across tasks
   std::uint64_t controller_states = 0;  ///< sum of per-task FSMs + handshakes
   std::size_t luts = 0;              ///< datapath + per-task controllers
+  std::uint64_t node_retries = 0;    ///< transient firings re-executed
+  std::uint64_t node_failures = 0;   ///< firings whose retry budget ran out
+  std::vector<std::uint64_t> retries_per_task;  ///< indexed by task id
 };
+
+/// Per-node re-execution policy, mirroring the AXI master's retry ladder:
+/// a transient failure (is_retriable) gets up to `max_retries` bounded
+/// re-executions with exponential backoff (`backoff_cycles << attempt`);
+/// permanent failures propagate immediately.
+struct NodeRetryPolicy {
+  unsigned max_retries = 3;
+  std::uint64_t backoff_cycles = 4;
+};
+
+struct DataflowOptions {
+  std::uint64_t max_cycles = 50'000'000;
+  NodeRetryPolicy retry;
+  /// When set, every firing completion presents one opportunity to each of
+  /// the df.node.{transient,overrun,permanent} points.
+  fault::FaultInjector* injector = nullptr;
+  /// When set, stats are written here even if the simulation fails — the
+  /// retry/failure counters of an aborted run are still meaningful.
+  DataflowStats* stats_out = nullptr;
+};
+
+Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
+                                        std::uint64_t input_tokens,
+                                        const DataflowOptions& options);
 
 Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
                                         std::uint64_t input_tokens,

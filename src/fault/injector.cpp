@@ -96,6 +96,10 @@ void FaultInjector::mutate_bytes(PointId point, std::span<std::uint8_t> bytes) {
   }
 }
 
+std::uint64_t FaultInjector::rand_below(PointId point, std::uint64_t bound) {
+  return points_[point].rng.next_below(bound);
+}
+
 std::uint64_t FaultInjector::total_fires() const {
   std::uint64_t total = 0;
   for (const Point& point : points_) total += point.stats.fires;
@@ -119,6 +123,13 @@ constexpr std::string_view kCatalog[] = {
     "spw.frame.drop",     // SpaceWire frame lost on the wire
     "hv.job.overrun",     // released job demands 8x its declared WCET
     "hv.partition.crash", // completing job raises a partition error
+    "efpga.prog.header.corrupt",  // header word mangled while being written
+    "efpga.prog.frame.corrupt",   // in-flight frame word flipped during write
+    "efpga.prog.frame.drop",      // frame write lost before reaching the array
+    "efpga.config.rot",   // static config-memory upset after programming
+    "df.node.transient",  // dataflow node firing fails with kInternal
+    "df.node.overrun",    // dataflow node firing blows its deadline
+    "df.node.permanent",  // dataflow node firing fails permanently
 };
 
 }  // namespace

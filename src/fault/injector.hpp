@@ -91,6 +91,11 @@ class FaultInjector {
   /// Flips 1..8 random bits across `bytes` (page/frame rot).
   void mutate_bytes(PointId point, std::span<std::uint8_t> bytes);
 
+  /// Uniform draw in [0, bound) from the point's private RNG — for fired
+  /// points that need to pick *where* to strike (a frame word, a flip count)
+  /// without breaking the per-point determinism contract.
+  std::uint64_t rand_below(PointId point, std::uint64_t bound);
+
   [[nodiscard]] const PointStats& stats(PointId point) const {
     return points_[point].stats;
   }

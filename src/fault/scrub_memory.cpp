@@ -68,29 +68,26 @@ std::size_t ScrubMemory::raw_bits() const {
   return 0;
 }
 
-ScrubReport ScrubMemory::inject_and_scrub(const SeuCampaignConfig& config,
-                                          Rng& rng) {
-  ScrubReport report;
-  SeuCampaignConfig cfg = config;
+unsigned ScrubMemory::codeword_bits() const {
   switch (protection_) {
-    case Protection::kNone: cfg.bits_per_word = 32; break;
-    case Protection::kEdac: cfg.bits_per_word = kEdacCodewordBits; break;
-    case Protection::kTmr: cfg.bits_per_word = 32; break;
+    case Protection::kNone: return 32;
+    case Protection::kEdac: return kEdacCodewordBits;
+    case Protection::kTmr: return 32;
   }
+  return 32;
+}
 
-  auto inject = [&](std::vector<std::uint64_t>& bank) {
-    const auto upsets = draw_upsets(cfg, bank.size(), rng);
-    apply_upsets(bank, upsets);
-    report.injected_upsets += upsets.size();
-  };
-  inject(raw_);
-  if (protection_ == Protection::kTmr) {
-    inject(raw_b_);
-    inject(raw_c_);
-  }
+void ScrubMemory::flip_raw_bit(std::size_t index, unsigned bit) {
+  assert(index < golden_.size() && bit < codeword_bits());
+  raw_[index] ^= 1ULL << bit;
+}
 
-  // Scrub pass: read through the scheme, rewrite, and compare with golden.
-  for (std::size_t i = 0; i < golden_.size(); ++i) {
+ScrubReport ScrubMemory::scrub_range(std::size_t begin, std::size_t end,
+                                     bool repair_uncorrectable) {
+  assert(begin <= end && end <= golden_.size());
+  ScrubReport report;
+  // Read through the scheme, rewrite, and compare with golden.
+  for (std::size_t i = begin; i < end; ++i) {
     switch (protection_) {
       case Protection::kNone: {
         const auto seen = static_cast<std::uint32_t>(raw_[i]);
@@ -102,7 +99,11 @@ ScrubReport ScrubMemory::inject_and_scrub(const SeuCampaignConfig& config,
         const EdacStatus status = edac_decode(raw_[i], data);
         if (status == EdacStatus::kDoubleError) {
           ++report.detected_uncorrectable;
-          // Policy: leave word as-is; upper layer must re-fetch.
+          if (repair_uncorrectable) {
+            raw_[i] = edac_encode(golden_[i]);
+            ++report.repaired;
+          }
+          // Otherwise: leave word as-is; upper layer must re-fetch.
         } else {
           if (status == EdacStatus::kCorrected) ++report.corrected;
           if (data != golden_[i]) {
@@ -126,6 +127,31 @@ ScrubReport ScrubMemory::inject_and_scrub(const SeuCampaignConfig& config,
       }
     }
   }
+  return report;
+}
+
+ScrubReport ScrubMemory::inject_and_scrub(const SeuCampaignConfig& config,
+                                          Rng& rng) {
+  ScrubReport report;
+  SeuCampaignConfig cfg = config;
+  switch (protection_) {
+    case Protection::kNone: cfg.bits_per_word = 32; break;
+    case Protection::kEdac: cfg.bits_per_word = kEdacCodewordBits; break;
+    case Protection::kTmr: cfg.bits_per_word = 32; break;
+  }
+
+  auto inject = [&](std::vector<std::uint64_t>& bank) {
+    const auto upsets = draw_upsets(cfg, bank.size(), rng);
+    apply_upsets(bank, upsets);
+    report.injected_upsets += upsets.size();
+  };
+  inject(raw_);
+  if (protection_ == Protection::kTmr) {
+    inject(raw_b_);
+    inject(raw_c_);
+  }
+
+  report.accumulate(scrub_range(0, golden_.size()));
   return report;
 }
 

@@ -24,6 +24,16 @@ struct ScrubReport {
   std::size_t corrected = 0;        ///< errors masked/corrected by the scheme
   std::size_t detected_uncorrectable = 0;  ///< flagged but not fixed (EDAC double)
   std::size_t silent_corruptions = 0;      ///< readback differs from golden, unflagged
+  std::size_t repaired = 0;  ///< uncorrectable words re-written from golden
+                             ///< (scrub_range with repair_uncorrectable)
+
+  void accumulate(const ScrubReport& other) {
+    injected_upsets += other.injected_upsets;
+    corrected += other.corrected;
+    detected_uncorrectable += other.detected_uncorrectable;
+    silent_corruptions += other.silent_corruptions;
+    repaired += other.repaired;
+  }
 };
 
 /// A word-addressable 32-bit memory with transparent protection: writes encode
@@ -44,8 +54,29 @@ class ScrubMemory {
   /// rewriting corrected values. Counters compare against the golden copy.
   ScrubReport inject_and_scrub(const SeuCampaignConfig& config, Rng& rng);
 
+  /// Scrub-only pass over [begin, end): read through the protection scheme,
+  /// rewrite clean words, count what the scheme saw. With
+  /// `repair_uncorrectable` set, a detected-uncorrectable word is re-written
+  /// from the golden copy (modeling re-configuration from a retained source
+  /// image) and counted in ScrubReport::repaired instead of being left rotten.
+  ScrubReport scrub_range(std::size_t begin, std::size_t end,
+                          bool repair_uncorrectable = false);
+
+  /// Whole-memory scrub pass.
+  ScrubReport scrub(bool repair_uncorrectable = false) {
+    return scrub_range(0, golden_.size(), repair_uncorrectable);
+  }
+
+  /// Flips one bit of word `index`'s raw storage (replica A for TMR) —
+  /// targeted, injector-driven damage. One flip is correctable under EDAC;
+  /// two distinct flips in the same word are detected-uncorrectable.
+  void flip_raw_bit(std::size_t index, unsigned bit);
+
   /// Raw storage bit count (for per-bit upset-rate normalization).
   [[nodiscard]] std::size_t raw_bits() const;
+
+  /// Bits per raw codeword under the active scheme.
+  [[nodiscard]] unsigned codeword_bits() const;
 
  private:
   Protection protection_;

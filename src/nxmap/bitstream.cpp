@@ -29,6 +29,38 @@ std::uint32_t device_id_of(const NxDevice& device) {
 
 }  // namespace
 
+std::size_t ParsedBitstream::total_words() const {
+  std::size_t total = 0;
+  for (const BitstreamFrame& frame : frames) total += frame.words.size();
+  return total;
+}
+
+std::uint32_t frame_crc(std::uint32_t column,
+                        std::span<const std::uint32_t> words) {
+  std::vector<std::uint8_t> encoded;
+  encoded.reserve(8 + words.size() * 4);
+  put_u32(encoded, column);
+  put_u32(encoded, static_cast<std::uint32_t>(words.size()));
+  for (std::uint32_t word : words) put_u32(encoded, word);
+  return crc32(encoded.data(), encoded.size());
+}
+
+std::vector<std::uint8_t> pack_raw_bitstream(
+    std::uint32_t device_id, std::span<const BitstreamFrame> frames) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kBitstreamMagic);
+  put_u32(out, device_id);
+  put_u32(out, static_cast<std::uint32_t>(frames.size()));
+  for (const BitstreamFrame& frame : frames) {
+    put_u32(out, frame.column);
+    put_u32(out, static_cast<std::uint32_t>(frame.words.size()));
+    for (std::uint32_t word : frame.words) put_u32(out, word);
+    put_u32(out, frame_crc(frame.column, frame.words));
+  }
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
 std::vector<std::uint8_t> pack_bitstream(const hw::Module& module,
                                          const MappedDesign& design,
                                          const Placement& placement,
@@ -57,24 +89,15 @@ std::vector<std::uint8_t> pack_bitstream(const hw::Module& module,
     }
   }
 
-  std::vector<std::uint8_t> out;
-  put_u32(out, kBitstreamMagic);
-  put_u32(out, device_id_of(device));
-  put_u32(out, static_cast<std::uint32_t>(columns.size()));
-
-  for (const auto& [col, words] : columns) {
-    // Frame: column id, word count, payload, CRC32 of the payload.
-    std::vector<std::uint8_t> frame;
-    put_u32(frame, col);
-    put_u32(frame, static_cast<std::uint32_t>(words.size()));
-    for (std::uint32_t word : words) put_u32(frame, word);
-    put_u32(frame, crc32(frame.data(), frame.size()));
-    out.insert(out.end(), frame.begin(), frame.end());
+  std::vector<BitstreamFrame> frames;
+  frames.reserve(columns.size());
+  for (auto& [col, words] : columns) {
+    BitstreamFrame frame;
+    frame.column = col;
+    frame.words = std::move(words);
+    frames.push_back(std::move(frame));
   }
-
-  // Global CRC over everything so far.
-  put_u32(out, crc32(out.data(), out.size()));
-  return out;
+  return pack_raw_bitstream(device_id_of(device), frames);
 }
 
 Result<BitstreamInfo> verify_bitstream(std::span<const std::uint8_t> image) {
@@ -114,6 +137,30 @@ Result<BitstreamInfo> verify_bitstream(std::span<const std::uint8_t> image) {
   info.frames = frames;
   info.bytes = image.size();
   return info;
+}
+
+Result<ParsedBitstream> parse_bitstream(std::span<const std::uint8_t> image) {
+  auto info = verify_bitstream(image);
+  if (!info.ok()) return info.status();
+
+  ParsedBitstream parsed;
+  parsed.device_id = info.value().device_id;
+  std::size_t offset = kBitstreamHeaderBytes;
+  for (unsigned f = 0; f < info.value().frames; ++f) {
+    BitstreamFrame frame;
+    frame.column = get_u32(image, offset);
+    const std::uint32_t words = get_u32(image, offset + 4);
+    frame.words.reserve(words);
+    for (std::uint32_t w = 0; w < words; ++w) {
+      frame.words.push_back(get_u32(image, offset + 8 + w * 4));
+    }
+    frame.crc = get_u32(image, offset + 8 + words * 4);
+    frame.offset = offset;
+    frame.bytes = 8 + static_cast<std::size_t>(words) * 4 + 4;
+    offset += frame.bytes;
+    parsed.frames.push_back(std::move(frame));
+  }
+  return parsed;
 }
 
 }  // namespace hermes::nx

@@ -19,11 +19,47 @@ namespace hermes::nx {
 
 inline constexpr std::uint32_t kBitstreamMagic = 0x4E583031;  // "NX01"
 
+/// Byte offset where the first configuration frame starts (magic, device id,
+/// frame count — 4 bytes each).
+inline constexpr std::size_t kBitstreamHeaderBytes = 12;
+
 struct BitstreamInfo {
   std::uint32_t device_id = 0;
   unsigned frames = 0;
   std::size_t bytes = 0;
 };
+
+/// One configuration frame as stored in the image: the unit the eFPGA
+/// configuration port writes, reads back, and re-writes on upset.
+struct BitstreamFrame {
+  std::uint32_t column = 0;              ///< tile column this frame configures
+  std::vector<std::uint32_t> words;      ///< payload configuration words
+  std::uint32_t crc = 0;                 ///< CRC-32 over column+count+payload
+  std::size_t offset = 0;                ///< byte offset of the frame in the image
+  std::size_t bytes = 0;                 ///< frame size incl. the trailing CRC
+};
+
+/// A verified bitstream split into its frames — the frame-addressable view
+/// BL1 programs through the configuration port.
+struct ParsedBitstream {
+  std::uint32_t device_id = 0;
+  std::vector<BitstreamFrame> frames;
+
+  /// Total payload words across all frames (configuration-memory footprint).
+  [[nodiscard]] std::size_t total_words() const;
+};
+
+/// CRC-32 of an encoded frame (column id, word count, payload) — the value
+/// stored in the frame trailer and recomputed by per-frame readback.
+std::uint32_t frame_crc(std::uint32_t column,
+                        std::span<const std::uint32_t> words);
+
+/// Low-level packer: header + one frame per entry (column/words taken from
+/// each BitstreamFrame; CRCs computed here) + global CRC. pack_bitstream
+/// lowers a placed design onto this; tests and the chaos soak use it directly
+/// to build synthetic images in the exact wire format.
+std::vector<std::uint8_t> pack_raw_bitstream(
+    std::uint32_t device_id, std::span<const BitstreamFrame> frames);
 
 /// Serializes the placed design into a bitstream image.
 std::vector<std::uint8_t> pack_bitstream(const hw::Module& module,
@@ -34,5 +70,9 @@ std::vector<std::uint8_t> pack_bitstream(const hw::Module& module,
 /// Parses and integrity-checks a bitstream (header magic, per-frame CRCs,
 /// global CRC). This is the check BL1 runs before eFPGA programming.
 Result<BitstreamInfo> verify_bitstream(std::span<const std::uint8_t> image);
+
+/// verify_bitstream plus the frame split. Never returns frames from an image
+/// that fails any integrity check.
+Result<ParsedBitstream> parse_bitstream(std::span<const std::uint8_t> image);
 
 }  // namespace hermes::nx

@@ -38,6 +38,14 @@ Result<BackendResult> run_backend(const hw::Module& module,
       estimate_power(result.mapped, device, result.timing.fmax_mhz);
   result.bitstream =
       pack_bitstream(synthesized, result.mapped, result.placement, device);
+  // Pack self-check: the image BL1 will program must verify here first.
+  auto info = verify_bitstream(result.bitstream);
+  if (!info.ok()) {
+    return Status::Error(ErrorCode::kInternal,
+                         "packed bitstream failed self-verification: " +
+                             info.status().to_string());
+  }
+  result.bitstream_info = info.take();
   return result;
 }
 

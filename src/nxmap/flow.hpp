@@ -38,6 +38,9 @@ struct BackendResult {
   TimingReport timing;
   PowerReport power;
   std::vector<std::uint8_t> bitstream;
+  /// Self-check of the packed image: the backend re-runs verify_bitstream on
+  /// its own output, so a flow never hands BL1 an unprogrammable bitstream.
+  BitstreamInfo bitstream_info;
   /// Populated when the detailed router ran.
   unsigned route_iterations = 0;
   bool route_converged = true;

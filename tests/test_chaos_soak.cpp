@@ -12,9 +12,11 @@
 #include "axi/slave_memory.hpp"
 #include "boot/bl.hpp"
 #include "boot/loadlist.hpp"
+#include "dataflow/taskgraph.hpp"
 #include "fault/injector.hpp"
 #include "hls/flow.hpp"
 #include "hv/hypervisor.hpp"
+#include "nxmap/bitstream.hpp"
 
 namespace hermes::fault {
 namespace {
@@ -22,8 +24,11 @@ namespace {
 constexpr std::uint64_t kBootSeeds = 80;
 constexpr std::uint64_t kAxiSeeds = 60;
 constexpr std::uint64_t kHvSeeds = 80;
-static_assert(kBootSeeds + kAxiSeeds + kHvSeeds >= 200,
-              "the soak must cover at least 200 fault plans");
+constexpr std::uint64_t kEfpgaSeeds = 40;
+constexpr std::uint64_t kDataflowSeeds = 40;
+static_assert(kBootSeeds + kAxiSeeds + kHvSeeds + kEfpgaSeeds +
+                      kDataflowSeeds >= 280,
+              "the soak must cover at least 280 fault plans");
 
 /// FNV-1a accumulation over 64-bit words: the outcome fingerprint.
 std::uint64_t mix(std::uint64_t hash, std::uint64_t value) {
@@ -40,6 +45,11 @@ constexpr std::string_view kAxiPoints[] = {
     "axi.r.corrupt", "axi.r.slverr", "axi.b.slverr"};
 constexpr std::string_view kHvPoints[] = {"hv.job.overrun",
                                           "hv.partition.crash"};
+constexpr std::string_view kEfpgaPoints[] = {
+    "efpga.prog.header.corrupt", "efpga.prog.frame.corrupt",
+    "efpga.prog.frame.drop", "efpga.config.rot"};
+constexpr std::string_view kDataflowPoints[] = {
+    "df.node.transient", "df.node.overrun", "df.node.permanent"};
 
 // ---------------------------------------------------------------------------
 // Boot-chain scenario
@@ -191,6 +201,183 @@ TEST(ChaosSoak, AxiAcceleratorUnderRandomFaultPlans) {
   }
   // Bounded retries must carry a decent share of transfers through.
   EXPECT_GT(survivors, kAxiSeeds / 4);
+}
+
+// ---------------------------------------------------------------------------
+// eFPGA programming-upset scenario
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> soak_bitstream() {
+  std::vector<nx::BitstreamFrame> frames(3);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    frames[f].column = static_cast<std::uint32_t>(2 * f);
+    for (std::size_t w = 0; w < 6 + f * 3; ++w) {
+      frames[f].words.push_back(
+          static_cast<std::uint32_t>((f << 24) ^ (w * 0x01000193u) ^ 0xC3));
+    }
+  }
+  return nx::pack_raw_bitstream(/*device_id=*/0xE0E0, frames);
+}
+
+std::uint64_t run_efpga_boot_once(std::uint64_t seed, bool arm, bool* survived,
+                                  std::uint64_t* digest_out) {
+  FaultInjector injector;  // unarmed unless a plan is loaded below
+  if (arm) injector.load_plan(make_random_plan(seed, kEfpgaPoints));
+  boot::BootEnvironment env;
+  env.attach_injector(&injector);
+
+  std::vector<std::uint8_t> bl1(1024);
+  for (std::size_t i = 0; i < bl1.size(); ++i) {
+    bl1[i] = static_cast<std::uint8_t>(i * 11 + 3);
+  }
+  boot::LoadList list;
+  boot::LoadEntry fpga;
+  fpga.kind = boot::LoadKind::kBitstream;
+  fpga.name = "matrix";
+  fpga.dest_addr = boot::MemoryMap::kDdrBase + 0x10000;
+  list.entries.push_back(fpga);
+  boot::LoadEntry app;
+  app.kind = boot::LoadKind::kBl2;
+  app.name = "app";
+  app.dest_addr = boot::MemoryMap::kDdrBase;
+  list.entries.push_back(app);
+  std::vector<std::vector<std::uint8_t>> images = {
+      soak_bitstream(), std::vector<std::uint8_t>(2048, 0x5A)};
+  boot::stage_boot_media(env, bl1, list, images);
+
+  const boot::BootResult result = boot::run_boot_chain(env);
+  // Keep the configuration under static-rot pressure past the boot-time pass.
+  for (int pass = 0; pass < 3; ++pass) (void)env.soc.scrub_efpga();
+
+  const boot::EfpgaStats& efpga = env.soc.efpga_stats();
+  // The no-silent-corruption contract: every configuration upset is either
+  // corrected, repaired by the frame re-program rung, or a clean failure —
+  // the scrubber must never observe a miscorrection.
+  EXPECT_EQ(efpga.scrub_silent, 0u) << "seed " << seed;
+  if (result.status.ok()) {
+    EXPECT_EQ(result.reached, boot::BootStage::kApplication);
+    EXPECT_TRUE(env.soc.efpga_programmed);
+  } else {
+    EXPECT_FALSE(result.status.to_string().empty());
+  }
+  *survived = result.status.ok() && env.soc.efpga_programmed;
+  *digest_out = env.soc.efpga_config_digest();
+
+  std::uint64_t hash = kFnvBasis;
+  hash = mix(hash, static_cast<std::uint64_t>(result.status.code()));
+  hash = mix(hash, static_cast<std::uint64_t>(result.reached));
+  hash = mix(hash, result.report.total_cycles);
+  hash = mix(hash, result.report.efpga_frame_rewrites);
+  hash = mix(hash, result.report.efpga_scrub_corrections);
+  hash = mix(hash, efpga.frames_programmed);
+  hash = mix(hash, efpga.frame_crc_mismatches);
+  hash = mix(hash, efpga.frame_rewrites);
+  hash = mix(hash, efpga.header_rewrites);
+  hash = mix(hash, efpga.prog_failures);
+  hash = mix(hash, efpga.scrub_passes);
+  hash = mix(hash, efpga.scrub_corrected);
+  hash = mix(hash, efpga.scrub_uncorrectable);
+  hash = mix(hash, efpga.frames_reprogrammed);
+  hash = mix(hash, *digest_out);
+  hash = mix(hash, injector.total_fires());
+  return hash;
+}
+
+TEST(ChaosSoak, EfpgaProgrammingUnderRandomFaultPlans) {
+  // Reference: the configuration digest of an upset-free boot. Every soaked
+  // boot that reports success must land on exactly this configuration — a
+  // corrupt frame that slipped through the readback ladder would diverge.
+  bool clean_ok = false;
+  std::uint64_t clean_digest = 0;
+  (void)run_efpga_boot_once(0, /*arm=*/false, &clean_ok, &clean_digest);
+  ASSERT_TRUE(clean_ok);
+
+  std::uint64_t survivors = 0;
+  for (std::uint64_t seed = 1; seed <= kEfpgaSeeds; ++seed) {
+    bool survived_a = false, survived_b = false;
+    std::uint64_t digest_a = 0, digest_b = 0;
+    const std::uint64_t a =
+        run_efpga_boot_once(seed, /*arm=*/true, &survived_a, &digest_a);
+    const std::uint64_t b =
+        run_efpga_boot_once(seed, /*arm=*/true, &survived_b, &digest_b);
+    ASSERT_EQ(a, b) << "seed " << seed << " is not deterministic";
+    ASSERT_EQ(survived_a, survived_b);
+    if (survived_a) {
+      EXPECT_EQ(digest_a, clean_digest)
+          << "seed " << seed << ": a silently corrupt frame was accepted";
+    }
+    survivors += survived_a ? 1 : 0;
+  }
+  // The readback/re-write ladder must carry most programming runs through.
+  EXPECT_GT(survivors, kEfpgaSeeds / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow node-retry scenario
+// ---------------------------------------------------------------------------
+
+std::uint64_t run_dataflow_once(std::uint64_t seed, bool* survived) {
+  FaultInjector injector(make_random_plan(seed, kDataflowPoints));
+
+  // Deterministic per-seed graph: a pipeline with a fork-join in the middle,
+  // shaped by the seed only.
+  df::TaskGraph graph;
+  const unsigned workers = 2 + seed % 3;
+  const std::size_t src = graph.add_task({"src", 1 + seed % 4, 0, 2, 10});
+  const std::size_t join = graph.add_task({"join", 2 + seed % 5, 0, 2, 10});
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t worker = graph.add_task(
+        {"w" + std::to_string(w), 3 + (seed + w) % 9, 0, 4, 50});
+    graph.connect(src, worker, 2 + seed % 3);
+    graph.connect(worker, join, 2);
+  }
+  graph.sources = {src};
+  graph.sinks = {join};
+
+  df::DataflowOptions options;
+  options.injector = &injector;
+  df::DataflowStats stats;
+  options.stats_out = &stats;
+  options.retry.max_retries = 3;
+  options.retry.backoff_cycles = 4;
+  auto run = df::simulate_dataflow(graph, 4 + seed % 8, options);
+
+  if (!run.ok()) {
+    // Clean failure set: a permanent node fault, an exhausted retry budget,
+    // or the simulation deadline — never a hang or an unexpected code.
+    const ErrorCode code = run.status().code();
+    EXPECT_TRUE(code == ErrorCode::kInvalidArgument ||
+                code == ErrorCode::kInternal ||
+                code == ErrorCode::kDeadlineExceeded)
+        << run.status().to_string();
+  }
+  *survived = run.ok();
+
+  std::uint64_t hash = kFnvBasis;
+  hash = mix(hash, run.ok() ? 0u
+                            : static_cast<std::uint64_t>(run.status().code()));
+  hash = mix(hash, stats.makespan);
+  hash = mix(hash, stats.node_retries);
+  hash = mix(hash, stats.node_failures);
+  for (std::uint64_t retries : stats.retries_per_task) {
+    hash = mix(hash, retries);
+  }
+  hash = mix(hash, injector.total_fires());
+  return hash;
+}
+
+TEST(ChaosSoak, DataflowRetryUnderRandomFaultPlans) {
+  std::uint64_t survivors = 0;
+  for (std::uint64_t seed = 1; seed <= kDataflowSeeds; ++seed) {
+    bool survived_a = false, survived_b = false;
+    const std::uint64_t a = run_dataflow_once(seed, &survived_a);
+    const std::uint64_t b = run_dataflow_once(seed, &survived_b);
+    ASSERT_EQ(a, b) << "seed " << seed << " is not deterministic";
+    ASSERT_EQ(survived_a, survived_b);
+    survivors += survived_a ? 1 : 0;
+  }
+  // Bounded node re-execution must carry most graphs to completion.
+  EXPECT_GT(survivors, kDataflowSeeds / 4);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,8 +1,10 @@
 // Tests for dynamically controlled dataflow accelerators vs monolithic FSM
-// synthesis (paper Sec. II, ref [14]).
+// synthesis (paper Sec. II, ref [14]), and for the per-node retry ladder
+// under injected execution faults.
 #include <gtest/gtest.h>
 
 #include "dataflow/taskgraph.hpp"
+#include "fault/injector.hpp"
 
 namespace hermes::df {
 namespace {
@@ -208,6 +210,125 @@ TEST(Backpressure, BufferingSmoothsBurstyStage) {
   EXPECT_LE(deep, shallow);
   // Deep buffering approaches 5 cycles/token after the fill.
   EXPECT_LE(deep, 64u * 5u + 16u);
+}
+
+fault::FaultPlan node_fault_plan(std::string point,
+                                 fault::FaultSchedule schedule,
+                                 std::uint64_t seed = 7) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.points.push_back({std::move(point), schedule});
+  return plan;
+}
+
+TEST(NodeRetry, TransientFaultIsRetriedAndSucceeds) {
+  fault::FaultSchedule sched;
+  sched.probability = 1.0;
+  sched.max_fires = 1;  // exactly the first completion faults
+  fault::FaultInjector inj(node_fault_plan("df.node.transient", sched));
+
+  TaskGraph graph = pipeline_graph(2, 10);
+  DataflowOptions options;
+  options.injector = &inj;
+  DataflowStats observed;
+  options.stats_out = &observed;
+  auto stats = simulate_dataflow(graph, 1, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_EQ(stats.value().node_retries, 1u);
+  EXPECT_EQ(stats.value().node_failures, 0u);
+  // The re-execution costs another latency plus the backoff.
+  EXPECT_EQ(stats.value().makespan,
+            20u + 10u + options.retry.backoff_cycles);
+  // The first completion is task 0 (task 1 is still starved then).
+  ASSERT_EQ(stats.value().retries_per_task.size(), 2u);
+  EXPECT_EQ(stats.value().retries_per_task[0], 1u);
+  EXPECT_EQ(stats.value().retries_per_task[1], 0u);
+  EXPECT_EQ(observed.node_retries, stats.value().node_retries);
+}
+
+TEST(NodeRetry, PermanentFaultPropagatesWithoutRetry) {
+  fault::FaultSchedule sched;
+  sched.probability = 1.0;
+  sched.max_fires = 1;
+  fault::FaultInjector inj(node_fault_plan("df.node.permanent", sched));
+
+  TaskGraph graph = pipeline_graph(2, 10);
+  DataflowOptions options;
+  options.injector = &inj;
+  DataflowStats observed;
+  options.stats_out = &observed;
+  auto stats = simulate_dataflow(graph, 1, options);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), ErrorCode::kInvalidArgument);
+  // stats_out is filled even on failure; a permanent fault burns no retries.
+  EXPECT_EQ(observed.node_retries, 0u);
+  EXPECT_EQ(observed.node_failures, 1u);
+}
+
+TEST(NodeRetry, ExhaustedBudgetReturnsOriginalCode) {
+  // Every attempt faults: the ladder re-executes max_retries times and then
+  // surfaces the code of the transient fault itself, not a wrapper.
+  for (const auto& [point, code] :
+       {std::pair<const char*, ErrorCode>{"df.node.transient",
+                                          ErrorCode::kInternal},
+        std::pair<const char*, ErrorCode>{"df.node.overrun",
+                                          ErrorCode::kDeadlineExceeded}}) {
+    fault::FaultSchedule sched;
+    sched.probability = 1.0;  // unbounded: every re-execution faults again
+    fault::FaultInjector inj(node_fault_plan(point, sched));
+
+    TaskGraph graph = pipeline_graph(2, 10);
+    DataflowOptions options;
+    options.injector = &inj;
+    options.retry.max_retries = 2;
+    DataflowStats observed;
+    options.stats_out = &observed;
+    auto stats = simulate_dataflow(graph, 1, options);
+    ASSERT_FALSE(stats.ok()) << point;
+    EXPECT_EQ(stats.status().code(), code) << point;
+    EXPECT_EQ(observed.node_retries, 2u) << point;
+    EXPECT_EQ(observed.node_failures, 1u) << point;
+  }
+}
+
+TEST(NodeRetry, SameSeedSameRetryCounts) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto run_once = [seed](DataflowStats* out) {
+      constexpr std::string_view kPoints[] = {
+          "df.node.transient", "df.node.overrun", "df.node.permanent"};
+      fault::FaultInjector inj(fault::make_random_plan(seed, kPoints));
+      TaskGraph graph = pipeline_graph(3, 5);
+      DataflowOptions options;
+      options.injector = &inj;
+      options.stats_out = out;
+      return simulate_dataflow(graph, 8, options);
+    };
+    DataflowStats a, b;
+    const auto ra = run_once(&a);
+    const auto rb = run_once(&b);
+    ASSERT_EQ(ra.ok(), rb.ok()) << "seed " << seed;
+    if (!ra.ok()) {
+      EXPECT_EQ(ra.status().code(), rb.status().code()) << "seed " << seed;
+    }
+    EXPECT_EQ(a.node_retries, b.node_retries) << "seed " << seed;
+    EXPECT_EQ(a.node_failures, b.node_failures) << "seed " << seed;
+    EXPECT_EQ(a.makespan, b.makespan) << "seed " << seed;
+    EXPECT_EQ(a.retries_per_task, b.retries_per_task) << "seed " << seed;
+  }
+}
+
+TEST(NodeRetry, FaultFreeRunMatchesLegacyOverload) {
+  // No injector: the options-based entry point must be bit-identical to the
+  // original (graph, tokens, max_cycles) behaviour.
+  TaskGraph graph = pipeline_graph(4, 10);
+  auto legacy = simulate_dataflow(graph, 16);
+  DataflowOptions options;
+  auto with_options = simulate_dataflow(graph, 16, options);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(with_options.ok());
+  EXPECT_EQ(legacy.value().makespan, with_options.value().makespan);
+  EXPECT_EQ(with_options.value().node_retries, 0u);
+  EXPECT_EQ(with_options.value().node_failures, 0u);
 }
 
 TEST(Backpressure, UtilizationReflectsBottleneck) {

@@ -11,6 +11,7 @@
 #include "boot/flash.hpp"
 #include "boot/loadlist.hpp"
 #include "boot/spacewire.hpp"
+#include "dataflow/taskgraph.hpp"
 #include "fault/injector.hpp"
 #include "hv/hypervisor.hpp"
 
@@ -178,6 +179,14 @@ TEST(Plans, CatalogCoversEveryRegisteredPoint) {
   env.attach_injector(&inj);
   hv::Hypervisor hv(hv::HvConfig{});
   hv.attach_injector(&inj);
+  // The dataflow engine registers its node points per simulation.
+  df::TaskGraph graph;
+  const std::size_t only = graph.add_task({"t", 1, 0, 1, 0});
+  graph.sources = {only};
+  graph.sinks = {only};
+  df::DataflowOptions df_options;
+  df_options.injector = &inj;
+  (void)df::simulate_dataflow(graph, 1, df_options);
 
   const auto catalog = default_point_catalog();
   for (std::size_t i = 0; i < inj.num_points(); ++i) {
