@@ -252,6 +252,79 @@ void BM_EfpgaScrubThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EfpgaScrubThroughput)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
 
+/// Boots a full chain whose load list carries a bitstream, so the resulting
+/// SoC has DDR payloads, a boot report and a programmed eFPGA — the state a
+/// chaos scrub campaign wants to start from.
+boot::BootResult boot_with_bitstream(boot::BootEnvironment& env,
+                                     const std::vector<std::uint8_t>& image) {
+  std::vector<std::uint8_t> bl1(1024, 0x11);
+  boot::LoadList list;
+  boot::LoadEntry bs;
+  bs.kind = boot::LoadKind::kBitstream;
+  bs.name = "accel";
+  boot::LoadEntry bl2;
+  bl2.kind = boot::LoadKind::kBl2;
+  bl2.name = "app";
+  bl2.dest_addr = boot::MemoryMap::kDdrBase;
+  list.entries = {bs, bl2};
+  boot::stage_boot_media(env, bl1, list,
+                         {image, std::vector<std::uint8_t>(2048, 0x22)});
+  return boot::run_boot_chain(env);
+}
+
+// Fork-vs-reboot: a chaos scrub campaign needs one booted SoC per plan.
+// Arg(0) pays the full boot chain per plan (the pre-fork baseline); Arg(1)
+// boots once, snapshots, and Soc::fork()s the booted state per plan —
+// copy-on-write pages make the fork O(page-table), not O(megabytes).
+void BM_ChaosBootScrubCampaign(benchmark::State& state) {
+  const bool forked = state.range(0) != 0;
+  const std::vector<std::uint8_t> image = bench_bitstream(8, 64);
+  fault::FaultSchedule rot;
+  rot.probability = 0.5;
+  fault::FaultPlan shape;
+  shape.points.push_back({"efpga.config.rot", rot});
+
+  boot::BootEnvironment booted;
+  boot::SocSnapshot snapshot;
+  if (forked) {
+    if (!boot_with_bitstream(booted, image).status.ok()) {
+      state.SkipWithError("boot failed");
+      return;
+    }
+    snapshot = booted.soc.snapshot();
+  }
+
+  std::uint64_t plans = 0, healed = 0, fires = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fault::FaultInjector injector(fault::reseeded(shape, seed++));
+    boot::Soc soc;
+    if (forked) {
+      soc = boot::Soc::fork(snapshot);
+    } else {
+      boot::BootEnvironment env;
+      if (!boot_with_bitstream(env, image).status.ok()) {
+        state.SkipWithError("boot failed");
+        return;
+      }
+      soc = std::move(env.soc);
+    }
+    soc.attach_injector(&injector);
+    for (int pass = 0; pass < 4; ++pass) healed += soc.scrub_efpga();
+    ++plans;
+    fires += injector.total_fires();
+    benchmark::DoNotOptimize(soc.efpga_config_digest());
+  }
+  state.SetLabel(forked ? "forked" : "reboot");
+  state.counters["plans"] = static_cast<double>(plans);
+  state.counters["healed_words"] = static_cast<double>(healed);
+  state.counters["fires"] = static_cast<double>(fires);
+  state.counters["plans_per_sec"] = benchmark::Counter(
+      static_cast<double>(plans), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ChaosBootScrubCampaign)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -6,11 +6,15 @@
 // (ablation D4), plus the flash-bank TMR recovery measurement.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "boot/flash.hpp"
 #include "common/rng.hpp"
 #include "common/threadpool.hpp"
 #include "fault/campaign.hpp"
 #include "fault/scrub_memory.hpp"
+#include "fault/seu.hpp"
 #include "hls/flow.hpp"
 #include "hw/tmr_transform.hpp"
 #include "nxmap/flow.hpp"
@@ -91,10 +95,9 @@ void BM_ParallelScrubCampaign(benchmark::State& state) {
 BENCHMARK(BM_ParallelScrubCampaign)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
-/// Netlist SEU campaign over a real HLS accelerator: one golden + one faulty
-/// Simulator replica per task, random register-bit flip, divergence watch.
-void BM_NetlistSeuCampaign(benchmark::State& state) {
-  const bool threaded = state.range(0) != 0;
+/// Shared accelerator + plan for the netlist SEU campaign family, so the
+/// serial oracle and the bit-sliced engine are measured on identical work.
+const auto& seu_campaign_flow() {
   static const auto flow = [] {
     hls::FlowOptions opts;
     opts.top = "dot";
@@ -106,15 +109,51 @@ void BM_NetlistSeuCampaign(benchmark::State& state) {
       }
     )", opts);
   }();
+  return flow;
+}
+
+NetlistSeuPlan seu_campaign_plan() {
+  NetlistSeuPlan plan;
+  plan.replicas = 126;  // two full 63-replica slice batches
+  plan.cycles_before = 8;
+  plan.cycles_after = 64;
+  plan.inputs = {{"start", 1}};
+  return plan;
+}
+
+/// CI smoke gate: the sliced engine must be bit-identical to the serial
+/// oracle. A mismatch is a correctness bug, not a perf regression, so the
+/// whole bench binary fails hard instead of publishing wrong numbers.
+void check_sliced_matches_serial(const hw::Module& module,
+                                 const NetlistSeuPlan& plan) {
+  static bool checked = false;
+  if (checked) return;
+  checked = true;
+  ThreadPool serial(0);
+  const NetlistSeuResult golden = run_netlist_seu_campaign(module, plan, &serial);
+  const NetlistSeuResult sliced =
+      run_netlist_seu_campaign_sliced(module, plan, &serial);
+  if (fingerprint(golden) != fingerprint(sliced)) {
+    std::fprintf(stderr,
+                 "FATAL: sliced campaign fingerprint %016llx != serial "
+                 "oracle %016llx\n",
+                 static_cast<unsigned long long>(fingerprint(sliced)),
+                 static_cast<unsigned long long>(fingerprint(golden)));
+    std::exit(1);
+  }
+}
+
+/// Netlist SEU campaign over a real HLS accelerator: one golden + one faulty
+/// Simulator replica per task, random register-bit flip, divergence watch.
+void BM_NetlistSeuCampaign(benchmark::State& state) {
+  const bool threaded = state.range(0) != 0;
+  const auto& flow = seu_campaign_flow();
   if (!flow.ok()) {
     state.SkipWithError("flow failed");
     return;
   }
-  NetlistSeuPlan plan;
-  plan.replicas = 24;
-  plan.cycles_before = 8;
-  plan.cycles_after = 64;
-  plan.inputs = {{"start", 1}};
+  const NetlistSeuPlan plan = seu_campaign_plan();
+  check_sliced_matches_serial(flow.value().fsmd.module, plan);
 
   ThreadPool serial(0);
   ThreadPool* pool = threaded ? &ThreadPool::global() : &serial;
@@ -128,8 +167,46 @@ void BM_NetlistSeuCampaign(benchmark::State& state) {
                      : "serial");
   state.counters["replicas"] = static_cast<double>(plan.replicas);
   state.counters["diverged"] = static_cast<double>(result.diverged);
+  state.counters["plans_per_sec"] = benchmark::Counter(
+      static_cast<double>(plan.replicas) * state.iterations(),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_NetlistSeuCampaign)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same campaign on the bit-sliced engine: 63 fault replicas + 1 golden
+/// lane per 64-bit word, one simulator pass per batch instead of one golden
+/// + one faulty simulation per replica.
+void BM_NetlistSeuCampaignSliced(benchmark::State& state) {
+  const bool threaded = state.range(0) != 0;
+  const auto& flow = seu_campaign_flow();
+  if (!flow.ok()) {
+    state.SkipWithError("flow failed");
+    return;
+  }
+  const NetlistSeuPlan plan = seu_campaign_plan();
+  check_sliced_matches_serial(flow.value().fsmd.module, plan);
+
+  ThreadPool serial(0);
+  ThreadPool* pool = threaded ? &ThreadPool::global() : &serial;
+  NetlistSeuResult result;
+  for (auto _ : state) {
+    result =
+        run_netlist_seu_campaign_sliced(flow.value().fsmd.module, plan, pool);
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(threaded
+                     ? "pool x" + std::to_string(ThreadPool::global().size())
+                     : "serial");
+  state.counters["replicas"] = static_cast<double>(plan.replicas);
+  state.counters["batches"] =
+      static_cast<double>(batch_count(plan.replicas));
+  state.counters["diverged"] = static_cast<double>(result.diverged);
+  state.counters["plans_per_sec"] = benchmark::Counter(
+      static_cast<double>(plan.replicas) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetlistSeuCampaignSliced)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 /// Storage overhead vs protection (the cost column of the D4 table).

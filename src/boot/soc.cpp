@@ -7,8 +7,7 @@
 namespace hermes::boot {
 
 Status Soc::resolve(std::uint64_t addr, std::uint64_t bytes, bool write,
-                    std::vector<std::uint8_t> const** region,
-                    std::uint64_t* offset) const {
+                    CowMemory const** region, std::uint64_t* offset) const {
   const auto in = [&](std::uint64_t base, std::uint64_t size) {
     return addr >= base && addr + bytes <= base + size;
   };
@@ -56,22 +55,47 @@ Status Soc::resolve(std::uint64_t addr, std::uint64_t bytes, bool write,
 }
 
 Status Soc::write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data) {
-  std::vector<std::uint8_t> const* region = nullptr;
+  CowMemory const* region = nullptr;
   std::uint64_t offset = 0;
   Status status = resolve(addr, data.size(), /*write=*/true, &region, &offset);
   if (!status.ok()) return status;
-  std::memcpy(const_cast<std::uint8_t*>(region->data()) + offset, data.data(),
-              data.size());
+  const_cast<CowMemory*>(region)->write(offset, data);
   return Status::Ok();
 }
 
 Status Soc::read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const {
-  std::vector<std::uint8_t> const* region = nullptr;
+  CowMemory const* region = nullptr;
   std::uint64_t offset = 0;
   Status status = resolve(addr, out.size(), /*write=*/false, &region, &offset);
   if (!status.ok()) return status;
-  std::memcpy(out.data(), region->data() + offset, out.size());
+  region->read(offset, out);
   return Status::Ok();
+}
+
+SocSnapshot Soc::snapshot() const {
+  auto frozen = std::make_shared<Soc>(*this);
+  // Injection wiring is per-instance: the frozen image must not dangle into
+  // an injector the snapshot outlives.
+  frozen->injector_ = nullptr;
+  frozen->pt_header_corrupt_ = fault::kNoFaultPoint;
+  frozen->pt_frame_corrupt_ = fault::kNoFaultPoint;
+  frozen->pt_frame_drop_ = fault::kNoFaultPoint;
+  frozen->pt_config_rot_ = fault::kNoFaultPoint;
+  SocSnapshot snapshot;
+  snapshot.state_ = std::move(frozen);
+  return snapshot;
+}
+
+Soc Soc::fork(const SocSnapshot& snapshot) {
+  if (!snapshot.valid()) return Soc();
+  return *snapshot.state_;  // page tables copied, pages shared
+}
+
+fault::ScrubMemory& Soc::mutable_efpga_config() {
+  if (efpga_config_.use_count() > 1) {
+    efpga_config_ = std::make_shared<fault::ScrubMemory>(*efpga_config_);
+  }
+  return *efpga_config_;
 }
 
 void Soc::attach_injector(fault::FaultInjector* injector) {
@@ -183,7 +207,7 @@ Status Soc::program_efpga(std::span<const std::uint8_t> bitstream) {
 
   // Commit: swap in the fully verified configuration.
   charge(256);  // port finalization
-  efpga_config_.emplace(std::move(staging));
+  efpga_config_ = std::make_shared<fault::ScrubMemory>(std::move(staging));
   efpga_dir_ = std::move(dir);
   efpga_programmed = true;
   efpga_device_id = image.device_id;
@@ -193,6 +217,9 @@ Status Soc::program_efpga(std::span<const std::uint8_t> bitstream) {
 
 std::uint64_t Soc::scrub_efpga() {
   if (!efpga_programmed || !efpga_config_) return 0;
+  // Scrubbing mutates the configuration in place; detach from any snapshot
+  // or fork still sharing it before the first rot/repair.
+  fault::ScrubMemory& config = mutable_efpga_config();
   ++efpga_stats_.scrub_passes;
   std::uint64_t repaired_words = 0;
   for (const EfpgaFrameDir& frame : efpga_dir_) {
@@ -204,21 +231,21 @@ std::uint64_t Soc::scrub_efpga() {
       const std::size_t word =
           frame.offset + static_cast<std::size_t>(
                              injector_->rand_below(pt_config_rot_, frame.words));
-      const unsigned width = efpga_config_->codeword_bits();
+      const unsigned width = config.codeword_bits();
       const auto b1 = static_cast<unsigned>(
           injector_->rand_below(pt_config_rot_, width));
-      efpga_config_->flip_raw_bit(word, b1);
+      config.flip_raw_bit(word, b1);
       if (injector_->rand_below(pt_config_rot_, 2) == 0) {
         unsigned b2 = b1;
         while (b2 == b1) {
           b2 = static_cast<unsigned>(
               injector_->rand_below(pt_config_rot_, width));
         }
-        efpga_config_->flip_raw_bit(word, b2);
+        config.flip_raw_bit(word, b2);
       }
     }
     charge(frame.words * efpga_cfg.cycles_per_word);  // readback scrub
-    const fault::ScrubReport report = efpga_config_->scrub_range(
+    const fault::ScrubReport report = config.scrub_range(
         frame.offset, frame.offset + frame.words, /*repair_uncorrectable=*/true);
     efpga_stats_.scrub_corrected += report.corrected;
     efpga_stats_.scrub_uncorrectable += report.detected_uncorrectable;

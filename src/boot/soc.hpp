@@ -9,10 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/cow_memory.hpp"
 #include "common/status.hpp"
 #include "fault/injector.hpp"
 #include "fault/scrub_memory.hpp"
@@ -61,6 +62,23 @@ struct EfpgaStats {
   std::uint64_t scrub_uncorrectable = 0;   ///< double upsets detected
   std::uint64_t frames_reprogrammed = 0;   ///< uncorrectable -> frame re-write
   std::uint64_t scrub_silent = 0;          ///< must stay zero: silent rot
+};
+
+class Soc;
+
+/// A frozen copy-on-write image of a Soc — device bring-up state, memory
+/// contents and eFPGA configuration at the moment snapshot() was taken.
+/// Cheap to hold (memory pages and config frames are shared, not copied) and
+/// immutable: forks taken from it later see the same state no matter what
+/// the original Soc did in between. Carries no injector attachment.
+class SocSnapshot {
+ public:
+  SocSnapshot() = default;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Soc;
+  std::shared_ptr<const Soc> state_;
 };
 
 class Soc {
@@ -129,10 +147,35 @@ class Soc {
 
   [[nodiscard]] std::size_t ddr_size() const { return ddr_.size(); }
 
+  // ---- copy-on-write state forking ----
+  /// Freezes the complete SoC state. O(pages) pointer copies: memory pages
+  /// and the eFPGA configuration are shared with the snapshot, then cloned
+  /// lazily as either side writes. The snapshot never carries the injector
+  /// attachment — injection wiring is per-instance, not state.
+  [[nodiscard]] SocSnapshot snapshot() const;
+
+  /// New Soc resuming from `snapshot` — a booted system replicated without
+  /// re-running the boot chain. Forks are independent: writes in one fork
+  /// (or in the original Soc) are never visible in another. The fork has no
+  /// injector; call attach_injector to arm it. An invalid snapshot yields a
+  /// freshly constructed Soc.
+  [[nodiscard]] static Soc fork(const SocSnapshot& snapshot);
+
+  /// Pages of `fork` still physically shared with this Soc across all three
+  /// memory regions — observability for tests and campaign diagnostics.
+  [[nodiscard]] std::size_t pages_shared_with(const Soc& other) const {
+    return tcm_.pages_shared_with(other.tcm_) +
+           sram_.pages_shared_with(other.sram_) +
+           ddr_.pages_shared_with(other.ddr_);
+  }
+
  private:
   Status resolve(std::uint64_t addr, std::uint64_t bytes, bool write,
-                 std::vector<std::uint8_t> const** region,
-                 std::uint64_t* offset) const;
+                 CowMemory const** region, std::uint64_t* offset) const;
+
+  /// Clones the eFPGA configuration when a snapshot or fork still shares it
+  /// (scrub passes mutate it in place).
+  fault::ScrubMemory& mutable_efpga_config();
 
   /// Directory entry: where a frame's payload lives in config memory.
   struct EfpgaFrameDir {
@@ -142,9 +185,10 @@ class Soc {
     std::uint32_t crc = 0;   ///< expected frame CRC from the image
   };
 
-  std::vector<std::uint8_t> tcm_, sram_, ddr_;
+  CowMemory tcm_, sram_, ddr_;
 
-  std::optional<fault::ScrubMemory> efpga_config_;
+  /// Shared with snapshots/forks until a scrub or re-program writes to it.
+  std::shared_ptr<fault::ScrubMemory> efpga_config_;
   std::vector<EfpgaFrameDir> efpga_dir_;
   EfpgaStats efpga_stats_;
   fault::FaultInjector* injector_ = nullptr;

@@ -76,4 +76,20 @@ NetlistSeuResult run_netlist_seu_campaign(const hw::Module& module,
                                           const NetlistSeuPlan& plan,
                                           ThreadPool* pool = nullptr);
 
+/// Bit-sliced variant of run_netlist_seu_campaign: replicas are grouped into
+/// batches of 63 (seu.hpp batch math), each batch runs on one
+/// hw::SlicedSimulator with lane 0 as the shared golden replica and one fault
+/// lane per plan replica. The outcome vector is bit-identical to the serial
+/// runner's — same per-replica seeds, same target/bit draws, same divergence
+/// flags and first-divergence cycles — for any worker count. The serial path
+/// remains the differential oracle; see docs/CAMPAIGNS.md.
+NetlistSeuResult run_netlist_seu_campaign_sliced(const hw::Module& module,
+                                                 const NetlistSeuPlan& plan,
+                                                 ThreadPool* pool = nullptr);
+
+/// Order-sensitive FNV-1a fingerprint of a campaign result — the equality
+/// token the tests, chaos soak and CI bench-smoke gate compare between the
+/// serial oracle and the sliced engine (and between repeated runs).
+std::uint64_t fingerprint(const NetlistSeuResult& result);
+
 }  // namespace hermes::fault

@@ -132,4 +132,12 @@ std::span<const std::string_view> default_point_catalog();
 FaultPlan make_random_plan(std::uint64_t seed,
                            std::span<const std::string_view> points = {});
 
+/// Copy of `plan` with a different seed: the same points stay armed with the
+/// same schedules, but every point's private RNG stream changes. Forked-SoC
+/// campaigns use this to replay one scenario shape across replicas.
+[[nodiscard]] inline FaultPlan reseeded(FaultPlan plan, std::uint64_t seed) {
+  plan.seed = seed;
+  return plan;
+}
+
 }  // namespace hermes::fault

@@ -42,4 +42,34 @@ std::vector<Upset> draw_upsets(const SeuCampaignConfig& config,
 void apply_upsets(std::span<std::uint64_t> words,
                   const std::vector<Upset>& upsets);
 
+// --- Replica batching for the bit-sliced campaign engine -------------------
+//
+// The bit-sliced netlist simulator (hw::SlicedSimulator) advances 64 replica
+// lanes per word op. Campaign plans are grouped into batches of 63 replicas:
+// lane 0 of every batch is reserved for the fault-free golden replica, lanes
+// 1..63 carry consecutive plan replicas. The mapping is pure index math so
+// the serial and sliced runners agree on which replica gets which seed.
+
+/// Replica lanes per slice word (the machine word width).
+inline constexpr std::size_t kSliceLanes = 64;
+/// Campaign replicas per batch: lanes minus the golden lane.
+inline constexpr std::size_t kReplicasPerBatch = kSliceLanes - 1;
+
+/// Number of 63-replica batches needed to cover `replicas` plans.
+constexpr std::size_t batch_count(std::size_t replicas) {
+  return (replicas + kReplicasPerBatch - 1) / kReplicasPerBatch;
+}
+/// Batch that carries plan replica `replica`.
+constexpr std::size_t batch_of(std::size_t replica) {
+  return replica / kReplicasPerBatch;
+}
+/// Lane (1..63) that carries plan replica `replica` inside its batch.
+constexpr unsigned lane_of(std::size_t replica) {
+  return static_cast<unsigned>(replica % kReplicasPerBatch) + 1;
+}
+/// Plan replica carried by `lane` (1..63) of `batch`.
+constexpr std::size_t replica_at(std::size_t batch, unsigned lane) {
+  return batch * kReplicasPerBatch + (lane - 1);
+}
+
 }  // namespace hermes::fault

@@ -6,6 +6,7 @@
 
 #include "common/bits.hpp"
 #include "common/strings.hpp"
+#include "hw/sim_eval.hpp"
 
 namespace hermes::hw {
 
@@ -117,7 +118,17 @@ void Simulator::build_tables() {
     comb_ops_.push_back(op);
     max_level = std::max(max_level, op.level);
   }
-  level_buckets_.assign(comb_ops_.empty() ? 0 : max_level + 1, {});
+  // CSR scratch arena for the per-level worklists: level l owns exactly as
+  // many slots as it has ops (the worst case a delta can schedule).
+  const std::size_t levels = comb_ops_.empty() ? 0 : max_level + 1;
+  std::vector<std::uint32_t> level_counts(levels, 0);
+  for (const CombOp& op : comb_ops_) ++level_counts[op.level];
+  level_start_.assign(levels + 1, 0);
+  for (std::size_t l = 0; l < levels; ++l) {
+    level_start_[l + 1] = level_start_[l] + level_counts[l];
+  }
+  level_fill_.assign(levels, 0);
+  level_arena_.assign(comb_ops_.size(), 0);
   op_scheduled_.assign(comb_ops_.size(), 0);
 
   comb_driver_.assign(wire_count, kNoOp);
@@ -170,7 +181,7 @@ void Simulator::reset() {
     mem_state_.push_back(std::move(contents));
   }
   // Full settle from scratch; both engines start from a fully clean state.
-  for (auto& bucket : level_buckets_) bucket.clear();
+  std::fill(level_fill_.begin(), level_fill_.end(), 0);
   std::fill(op_scheduled_.begin(), op_scheduled_.end(), 0);
   for (const CombOp& op : comb_ops_) values_[op.out] = eval_op(op);
   comb_dirty_ = false;
@@ -179,7 +190,8 @@ void Simulator::reset() {
 void Simulator::schedule_op(std::uint32_t op_index) {
   if (op_scheduled_[op_index]) return;
   op_scheduled_[op_index] = 1;
-  level_buckets_[comb_ops_[op_index].level].push_back(op_index);
+  const std::uint32_t level = comb_ops_[op_index].level;
+  level_arena_[level_start_[level] + level_fill_[level]++] = op_index;
 }
 
 void Simulator::mark_wire_changed(WireId wire) {
@@ -208,80 +220,10 @@ std::uint64_t Simulator::get_output(std::string_view port_name) const {
 std::uint64_t Simulator::eval_op(const CombOp& op) const {
   const WireId* inputs = op_inputs_.data() + op.first_input;
   const std::uint8_t* widths = op_input_widths_.data() + op.first_input;
-  const auto in = [&](std::size_t index) { return values_[inputs[index]]; };
-  std::uint64_t result = 0;
-
-  switch (op.kind) {
-    case CellKind::kConst: result = op.param; break;
-    case CellKind::kAdd: result = in(0) + in(1); break;
-    case CellKind::kSub: result = in(0) - in(1); break;
-    case CellKind::kMul: result = in(0) * in(1); break;
-    case CellKind::kDivU:
-      result = in(1) == 0 ? ~0ULL : in(0) / in(1);
-      break;
-    case CellKind::kDivS: {
-      const std::int64_t a = sign_extend(in(0), widths[0]);
-      const std::int64_t b = sign_extend(in(1), widths[1]);
-      result = b == 0 ? ~0ULL : static_cast<std::uint64_t>(a / b);
-      break;
-    }
-    case CellKind::kRemU:
-      result = in(1) == 0 ? in(0) : in(0) % in(1);
-      break;
-    case CellKind::kRemS: {
-      const std::int64_t a = sign_extend(in(0), widths[0]);
-      const std::int64_t b = sign_extend(in(1), widths[1]);
-      result = b == 0 ? static_cast<std::uint64_t>(a)
-                      : static_cast<std::uint64_t>(a % b);
-      break;
-    }
-    case CellKind::kAnd: result = in(0) & in(1); break;
-    case CellKind::kOr: result = in(0) | in(1); break;
-    case CellKind::kXor: result = in(0) ^ in(1); break;
-    case CellKind::kNot: result = ~in(0); break;
-    case CellKind::kShl:
-      result = in(1) >= 64 ? 0 : in(0) << in(1);
-      break;
-    case CellKind::kShrU:
-      result = in(1) >= 64 ? 0 : in(0) >> in(1);
-      break;
-    case CellKind::kShrS: {
-      const std::int64_t a = sign_extend(in(0), widths[0]);
-      const std::uint64_t shift = in(1) >= 63 ? 63 : in(1);
-      result = static_cast<std::uint64_t>(a >> shift);
-      break;
-    }
-    case CellKind::kEq: result = in(0) == in(1); break;
-    case CellKind::kNe: result = in(0) != in(1); break;
-    case CellKind::kLtU: result = in(0) < in(1); break;
-    case CellKind::kLtS:
-      result = sign_extend(in(0), widths[0]) < sign_extend(in(1), widths[1]);
-      break;
-    case CellKind::kLeU: result = in(0) <= in(1); break;
-    case CellKind::kLeS:
-      result = sign_extend(in(0), widths[0]) <= sign_extend(in(1), widths[1]);
-      break;
-    case CellKind::kMux: result = in(0) ? in(2) : in(1); break;
-    case CellKind::kZext: result = in(0); break;
-    case CellKind::kSext:
-      result = static_cast<std::uint64_t>(sign_extend(in(0), widths[0]));
-      break;
-    case CellKind::kSlice: result = in(0) >> op.param; break;
-    case CellKind::kConcat: {
-      unsigned shift = 0;
-      for (std::uint16_t i = 0; i < op.input_count; ++i) {
-        result |= in(i) << shift;
-        shift += widths[i];
-      }
-      break;
-    }
-    case CellKind::kRegister:
-    case CellKind::kRamRead:
-    case CellKind::kRamWrite:
-      assert(false && "sequential cell in comb op table");
-      break;
-  }
-  return result & op.out_mask;
+  return eval_comb_cell(
+      op.kind, op.param, op.out_mask,
+      [&](std::size_t index) { return values_[inputs[index]]; }, widths,
+      op.input_count);
 }
 
 void Simulator::eval_comb() {
@@ -294,11 +236,14 @@ void Simulator::eval_comb() {
   }
 
   // Drain levels in ascending order. A re-evaluated op only ever schedules
-  // ops at strictly higher levels (its fanout), so each bucket is complete
-  // by the time it is reached and every op runs at most once per delta.
-  for (auto& bucket : level_buckets_) {
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const std::uint32_t index = bucket[i];
+  // ops at strictly higher levels (its fanout), so each level's arena span is
+  // complete by the time it is reached and every op runs at most once per
+  // delta. Re-reading level_fill_ each iteration keeps same-level growth
+  // (impossible by construction, but cheap) safe.
+  for (std::size_t level = 0; level < level_fill_.size(); ++level) {
+    const std::uint32_t base = level_start_[level];
+    for (std::uint32_t i = 0; i < level_fill_[level]; ++i) {
+      const std::uint32_t index = level_arena_[base + i];
       op_scheduled_[index] = 0;
       const CombOp& op = comb_ops_[index];
       const std::uint64_t value = eval_op(op);
@@ -308,7 +253,7 @@ void Simulator::eval_comb() {
       const std::uint32_t end = fanout_offsets_[op.out + 1];
       for (std::uint32_t f = begin; f < end; ++f) schedule_op(fanout_ops_[f]);
     }
-    bucket.clear();
+    level_fill_[level] = 0;
   }
 }
 

@@ -28,6 +28,8 @@
 
 namespace hermes::hw {
 
+class SlicedSimulator;
+
 /// Engine selection. The event-driven engine is the default; the full-sweep
 /// path is retained as the oracle for differential testing.
 struct SimOptions {
@@ -88,6 +90,10 @@ class Simulator {
   [[nodiscard]] const Module& module() const { return module_; }
 
  private:
+  /// The bit-sliced 64-replica engine reuses this engine's compiled op table,
+  /// fanout CSR and level schedule instead of rebuilding them.
+  friend class SlicedSimulator;
+
   static constexpr std::uint32_t kNoOp = ~static_cast<std::uint32_t>(0);
 
   /// One combinational cell, compiled: pre-resolved wires, cached widths and
@@ -144,11 +150,17 @@ class Simulator {
   std::vector<RamWriteOp> ram_write_ops_;
 
   // Event machinery: wire -> consuming comb ops (CSR), wire -> driving comb
-  // op, per-level worklists.
+  // op, per-level worklists. The worklists live in one flat CSR-style scratch
+  // arena (each level owns the slot range [level_start_[l], level_start_[l+1])
+  // and fills level_fill_[l] of it), so the hot settle path never touches the
+  // heap: an op is scheduled by one store + one cursor bump, and draining a
+  // level resets its cursor instead of clearing a vector.
   std::vector<std::uint32_t> fanout_offsets_;
   std::vector<std::uint32_t> fanout_ops_;
   std::vector<std::uint32_t> comb_driver_;
-  std::vector<std::vector<std::uint32_t>> level_buckets_;
+  std::vector<std::uint32_t> level_start_;  ///< per-level arena offsets (CSR)
+  std::vector<std::uint32_t> level_fill_;   ///< per-level scheduled count
+  std::vector<std::uint32_t> level_arena_;  ///< scheduled op ids, by level
   std::vector<std::uint8_t> op_scheduled_;
   bool comb_dirty_ = false;
 

@@ -1,0 +1,100 @@
+// Word-level combinational cell semantics, shared by every engine.
+//
+// The scalar event-driven / full-sweep engines (hw::Simulator) and the
+// per-lane fallback path of the bit-sliced engine (hw::SlicedSimulator) must
+// agree bit-for-bit on what each CellKind computes — divergence here would
+// silently break the serial-oracle invariant of the fault campaigns. The
+// single switch lives in this header as a template over the input accessor,
+// so each engine reads its own value storage with zero call overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "hw/netlist.hpp"
+
+namespace hermes::hw {
+
+/// Evaluates one combinational cell. `in(i)` must return the value of input
+/// wire `i`, already truncated to its width; `widths[i]` is that width. The
+/// result is truncated to `out_mask`. Division/remainder by zero produce
+/// all-ones / the dividend, matching the IR interpreter golden model.
+template <typename In>
+std::uint64_t eval_comb_cell(CellKind kind, std::uint64_t param,
+                             std::uint64_t out_mask, In&& in,
+                             const std::uint8_t* widths,
+                             std::uint16_t input_count) {
+  std::uint64_t result = 0;
+  switch (kind) {
+    case CellKind::kConst: result = param; break;
+    case CellKind::kAdd: result = in(0) + in(1); break;
+    case CellKind::kSub: result = in(0) - in(1); break;
+    case CellKind::kMul: result = in(0) * in(1); break;
+    case CellKind::kDivU:
+      result = in(1) == 0 ? ~0ULL : in(0) / in(1);
+      break;
+    case CellKind::kDivS: {
+      const std::int64_t a = sign_extend(in(0), widths[0]);
+      const std::int64_t b = sign_extend(in(1), widths[1]);
+      result = b == 0 ? ~0ULL : static_cast<std::uint64_t>(a / b);
+      break;
+    }
+    case CellKind::kRemU:
+      result = in(1) == 0 ? in(0) : in(0) % in(1);
+      break;
+    case CellKind::kRemS: {
+      const std::int64_t a = sign_extend(in(0), widths[0]);
+      const std::int64_t b = sign_extend(in(1), widths[1]);
+      result = b == 0 ? static_cast<std::uint64_t>(a)
+                      : static_cast<std::uint64_t>(a % b);
+      break;
+    }
+    case CellKind::kAnd: result = in(0) & in(1); break;
+    case CellKind::kOr: result = in(0) | in(1); break;
+    case CellKind::kXor: result = in(0) ^ in(1); break;
+    case CellKind::kNot: result = ~in(0); break;
+    case CellKind::kShl:
+      result = in(1) >= 64 ? 0 : in(0) << in(1);
+      break;
+    case CellKind::kShrU:
+      result = in(1) >= 64 ? 0 : in(0) >> in(1);
+      break;
+    case CellKind::kShrS: {
+      const std::int64_t a = sign_extend(in(0), widths[0]);
+      const std::uint64_t shift = in(1) >= 63 ? 63 : in(1);
+      result = static_cast<std::uint64_t>(a >> shift);
+      break;
+    }
+    case CellKind::kEq: result = in(0) == in(1); break;
+    case CellKind::kNe: result = in(0) != in(1); break;
+    case CellKind::kLtU: result = in(0) < in(1); break;
+    case CellKind::kLtS:
+      result = sign_extend(in(0), widths[0]) < sign_extend(in(1), widths[1]);
+      break;
+    case CellKind::kLeU: result = in(0) <= in(1); break;
+    case CellKind::kLeS:
+      result = sign_extend(in(0), widths[0]) <= sign_extend(in(1), widths[1]);
+      break;
+    case CellKind::kMux: result = in(0) ? in(2) : in(1); break;
+    case CellKind::kZext: result = in(0); break;
+    case CellKind::kSext:
+      result = static_cast<std::uint64_t>(sign_extend(in(0), widths[0]));
+      break;
+    case CellKind::kSlice: result = in(0) >> param; break;
+    case CellKind::kConcat: {
+      unsigned shift = 0;
+      for (std::uint16_t i = 0; i < input_count; ++i) {
+        result |= in(i) << shift;
+        shift += widths[i];
+      }
+      break;
+    }
+    case CellKind::kRegister:
+    case CellKind::kRamRead:
+    case CellKind::kRamWrite:
+      break;  // sequential cells never reach the comb evaluator
+  }
+  return result & out_mask;
+}
+
+}  // namespace hermes::hw

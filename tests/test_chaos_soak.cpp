@@ -13,6 +13,7 @@
 #include "boot/bl.hpp"
 #include "boot/loadlist.hpp"
 #include "dataflow/taskgraph.hpp"
+#include "fault/campaign.hpp"
 #include "fault/injector.hpp"
 #include "hls/flow.hpp"
 #include "hv/hypervisor.hpp"
@@ -26,8 +27,10 @@ constexpr std::uint64_t kAxiSeeds = 60;
 constexpr std::uint64_t kHvSeeds = 80;
 constexpr std::uint64_t kEfpgaSeeds = 40;
 constexpr std::uint64_t kDataflowSeeds = 40;
+constexpr std::uint64_t kSlicedSeeds = 24;
+constexpr std::uint64_t kForkSeeds = 30;
 static_assert(kBootSeeds + kAxiSeeds + kHvSeeds + kEfpgaSeeds +
-                      kDataflowSeeds >= 280,
+                      kDataflowSeeds + kSlicedSeeds + kForkSeeds >= 280,
               "the soak must cover at least 280 fault plans");
 
 /// FNV-1a accumulation over 64-bit words: the outcome fingerprint.
@@ -445,6 +448,110 @@ TEST(ChaosSoak, HypervisorMissionUnderRandomFaultPlans) {
     const std::uint64_t b = run_hv_once(seed);
     ASSERT_EQ(a, b) << "seed " << seed << " is not deterministic";
     ASSERT_NE(a, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-sliced netlist SEU campaign scenario
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, SlicedCampaignDeterministicAndSerialIdentical) {
+  hls::FlowOptions options;
+  options.top = "dot";
+  auto flow = hls::run_flow(R"(
+    int dot(int a[16], int b[16]) {
+      int acc = 0;
+      for (int i = 0; i < 16; i = i + 1) { acc = acc + a[i] * b[i]; }
+      return acc;
+    }
+  )", options);
+  ASSERT_TRUE(flow.ok()) << flow.status().to_string();
+  const hw::Module& module = flow.value().fsmd.module;
+
+  for (std::uint64_t seed = 1; seed <= kSlicedSeeds; ++seed) {
+    NetlistSeuPlan plan;
+    plan.replicas = 30 + (seed * 7) % 40;  // straddles the 63-replica batch
+    plan.cycles_before = 2 + seed % 5;
+    plan.cycles_after = 20 + seed % 30;
+    plan.base_seed = seed;
+    plan.inputs = {{"start", 1}};
+
+    // Run-twice determinism of the sliced engine, and bit-identity against
+    // the serial oracle — the invariant that lets the benches trust the
+    // 64-replica path.
+    const std::uint64_t sliced_a =
+        fingerprint(run_netlist_seu_campaign_sliced(module, plan));
+    const std::uint64_t sliced_b =
+        fingerprint(run_netlist_seu_campaign_sliced(module, plan));
+    const std::uint64_t serial =
+        fingerprint(run_netlist_seu_campaign(module, plan));
+    ASSERT_EQ(sliced_a, sliced_b) << "seed " << seed << " is not deterministic";
+    ASSERT_EQ(sliced_a, serial)
+        << "seed " << seed << " sliced diverged from the serial oracle";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forked-SoC scrub campaign scenario
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, ForkedScrubCampaignDeterministicAndIsolated) {
+  // One booted, programmed SoC; every plan runs on a fork of its snapshot
+  // instead of re-programming from scratch.
+  boot::BootEnvironment env;
+  {
+    std::vector<std::uint8_t> bl1(1024);
+    for (std::size_t i = 0; i < bl1.size(); ++i) {
+      bl1[i] = static_cast<std::uint8_t>(i * 11 + 3);
+    }
+    boot::LoadList list;
+    boot::LoadEntry fpga;
+    fpga.kind = boot::LoadKind::kBitstream;
+    fpga.name = "matrix";
+    fpga.dest_addr = boot::MemoryMap::kDdrBase + 0x10000;
+    list.entries.push_back(fpga);
+    boot::LoadEntry app;
+    app.kind = boot::LoadKind::kBl2;
+    app.name = "app";
+    app.dest_addr = boot::MemoryMap::kDdrBase;
+    list.entries.push_back(app);
+    std::vector<std::vector<std::uint8_t>> images = {
+        soak_bitstream(), std::vector<std::uint8_t>(2048, 0x5A)};
+    boot::stage_boot_media(env, bl1, list, images);
+    ASSERT_TRUE(boot::run_boot_chain(env).status.ok());
+    ASSERT_TRUE(env.soc.efpga_programmed);
+  }
+  const boot::SocSnapshot snapshot = env.soc.snapshot();
+  const std::uint64_t baseline_digest = env.soc.efpga_config_digest();
+
+  // One plan shape, reseeded per replica — the forked-campaign idiom.
+  const FaultPlan shape = make_random_plan(1, kEfpgaPoints);
+
+  const auto run_fork_once = [&](std::uint64_t seed) {
+    boot::Soc fork = boot::Soc::fork(snapshot);
+    EXPECT_EQ(fork.efpga_config_digest(), baseline_digest);
+    FaultInjector injector(reseeded(shape, seed));
+    fork.attach_injector(&injector);
+    for (int pass = 0; pass < 4; ++pass) (void)fork.scrub_efpga();
+    const boot::EfpgaStats& stats = fork.efpga_stats();
+    EXPECT_EQ(stats.scrub_silent, 0u) << "seed " << seed;
+
+    std::uint64_t hash = kFnvBasis;
+    hash = mix(hash, stats.scrub_passes);
+    hash = mix(hash, stats.scrub_corrected);
+    hash = mix(hash, stats.scrub_uncorrectable);
+    hash = mix(hash, stats.frames_reprogrammed);
+    hash = mix(hash, fork.efpga_config_digest());
+    hash = mix(hash, injector.total_fires());
+    return hash;
+  };
+
+  for (std::uint64_t seed = 1; seed <= kForkSeeds; ++seed) {
+    const std::uint64_t a = run_fork_once(seed);
+    const std::uint64_t b = run_fork_once(seed);
+    ASSERT_EQ(a, b) << "seed " << seed << " is not deterministic";
+    // Fork isolation: no campaign may leak back into the snapshot source.
+    ASSERT_EQ(env.soc.efpga_config_digest(), baseline_digest);
   }
 }
 

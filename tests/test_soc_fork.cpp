@@ -1,0 +1,209 @@
+// Tests for copy-on-write SoC state forking (Soc::snapshot / Soc::fork).
+//
+// Chaos campaigns fork one booted system instead of re-running the boot
+// chain per plan, so the contract under test is: a fork is indistinguishable
+// from a freshly booted SoC (same memory bytes, same eFPGA configuration
+// digest, same stats), forks are isolated from each other and from the
+// original, and a snapshot is immutable — it preserves the state at the
+// moment it was taken, not the state the original drifted to afterwards.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "boot/bl.hpp"
+#include "fault/injector.hpp"
+#include "hls/eucalyptus.hpp"
+#include "hls/flow.hpp"
+#include "nxmap/flow.hpp"
+
+namespace hermes::boot {
+namespace {
+
+std::vector<std::uint8_t> pattern_image(std::size_t bytes, std::uint8_t seed) {
+  std::vector<std::uint8_t> image(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    image[i] = static_cast<std::uint8_t>(seed + i * 7);
+  }
+  return image;
+}
+
+/// Boots a full chain with a real backend bitstream in the load list, so the
+/// booted SoC carries DDR payloads, an SRAM boot report and a programmed
+/// eFPGA — every kind of state a fork must reproduce.
+BootResult boot_with_efpga(BootEnvironment& env) {
+  hls::FlowOptions options;
+  options.top = "f";
+  auto flow = hls::run_flow("int f(int a) { return a * 3 + 1; }", options);
+  EXPECT_TRUE(flow.ok());
+  const nx::NxDevice device = nx::make_device(hls::ng_ultra());
+  auto backend = nx::run_backend(flow.value().fsmd.module, device);
+  EXPECT_TRUE(backend.ok());
+
+  LoadList list;
+  LoadEntry bs;
+  bs.kind = LoadKind::kBitstream;
+  bs.name = "accel";
+  LoadEntry sw;
+  sw.kind = LoadKind::kSoftware;
+  sw.name = "payload";
+  sw.dest_addr = MemoryMap::kDdrBase + 0x1000;
+  LoadEntry bl2;
+  bl2.kind = LoadKind::kBl2;
+  bl2.name = "bl2";
+  bl2.dest_addr = MemoryMap::kDdrBase;
+  list.entries = {bs, sw, bl2};
+  stage_boot_media(env, pattern_image(4096, 0x11), list,
+                   {backend.value().bitstream, pattern_image(2048, 0x22),
+                    pattern_image(1024, 0x33)});
+  return run_boot_chain(env);
+}
+
+void expect_same_stats(const EfpgaStats& a, const EfpgaStats& b) {
+  EXPECT_EQ(a.frames_programmed, b.frames_programmed);
+  EXPECT_EQ(a.frame_crc_mismatches, b.frame_crc_mismatches);
+  EXPECT_EQ(a.frame_rewrites, b.frame_rewrites);
+  EXPECT_EQ(a.header_rewrites, b.header_rewrites);
+  EXPECT_EQ(a.prog_failures, b.prog_failures);
+  EXPECT_EQ(a.scrub_passes, b.scrub_passes);
+  EXPECT_EQ(a.scrub_corrected, b.scrub_corrected);
+  EXPECT_EQ(a.scrub_uncorrectable, b.scrub_uncorrectable);
+  EXPECT_EQ(a.frames_reprogrammed, b.frames_reprogrammed);
+  EXPECT_EQ(a.scrub_silent, b.scrub_silent);
+}
+
+std::vector<std::uint8_t> read_range(const Soc& soc, std::uint64_t addr,
+                                     std::size_t bytes) {
+  std::vector<std::uint8_t> out(bytes);
+  EXPECT_TRUE(soc.read_bytes(addr, out).ok());
+  return out;
+}
+
+TEST(SocFork, ForkedBootEqualsFreshBoot) {
+  BootEnvironment booted;
+  ASSERT_TRUE(boot_with_efpga(booted).status.ok());
+  const SocSnapshot snapshot = booted.soc.snapshot();
+  Soc fork = Soc::fork(snapshot);
+
+  // A second, independently booted environment is the baseline the fork
+  // must be indistinguishable from (the chain is deterministic without an
+  // injector).
+  BootEnvironment fresh;
+  ASSERT_TRUE(boot_with_efpga(fresh).status.ok());
+
+  EXPECT_EQ(fork.efpga_config_digest(), fresh.soc.efpga_config_digest());
+  expect_same_stats(fork.efpga_stats(), fresh.soc.efpga_stats());
+  EXPECT_EQ(fork.efpga_programmed, fresh.soc.efpga_programmed);
+  EXPECT_EQ(fork.efpga_frames, fresh.soc.efpga_frames);
+  EXPECT_EQ(fork.efpga_device_id, fresh.soc.efpga_device_id);
+  EXPECT_EQ(fork.cpu0_initialized, fresh.soc.cpu0_initialized);
+  EXPECT_EQ(fork.ddr_ready, fresh.soc.ddr_ready);
+  EXPECT_EQ(fork.tcm_enabled, fresh.soc.tcm_enabled);
+  EXPECT_EQ(fork.mpu_enabled, fresh.soc.mpu_enabled);
+  EXPECT_EQ(fork.cores_released, fresh.soc.cores_released);
+
+  // Memory contents: deployed payload, BL2 image, serialized boot report.
+  EXPECT_EQ(read_range(fork, MemoryMap::kDdrBase + 0x1000, 2048),
+            read_range(fresh.soc, MemoryMap::kDdrBase + 0x1000, 2048));
+  EXPECT_EQ(read_range(fork, MemoryMap::kDdrBase, 1024),
+            read_range(fresh.soc, MemoryMap::kDdrBase, 1024));
+  EXPECT_EQ(read_range(fork, kBootReportAddr, 0x1000),
+            read_range(fresh.soc, kBootReportAddr, 0x1000));
+
+  // The fork still shares its pages with the booted original — state was
+  // replicated by reference, not by copying megabytes.
+  EXPECT_GT(fork.pages_shared_with(booted.soc), 0u);
+}
+
+TEST(SocFork, ForksAreIsolated) {
+  BootEnvironment booted;
+  ASSERT_TRUE(boot_with_efpga(booted).status.ok());
+  const SocSnapshot snapshot = booted.soc.snapshot();
+  Soc fork_a = Soc::fork(snapshot);
+  Soc fork_b = Soc::fork(snapshot);
+
+  const std::uint64_t addr = MemoryMap::kDdrBase + 0x2000;
+  const std::vector<std::uint8_t> before = read_range(fork_b, addr, 256);
+  ASSERT_TRUE(fork_a.write_bytes(addr, pattern_image(256, 0xA5)).ok());
+
+  // fork_a sees its write; fork_b and the original are untouched.
+  EXPECT_EQ(read_range(fork_a, addr, 256), pattern_image(256, 0xA5));
+  EXPECT_EQ(read_range(fork_b, addr, 256), before);
+  EXPECT_EQ(read_range(booted.soc, addr, 256), before);
+
+  // eFPGA configuration is isolated the same way: rot + scrub one fork
+  // under injection; the sibling's digest and stats must not move. (The
+  // boot chain itself runs scrub passes, so compare against the forked
+  // baseline, not zero.)
+  const std::uint64_t digest_before = fork_b.efpga_config_digest();
+  const std::uint64_t passes_before = fork_b.efpga_stats().scrub_passes;
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  plan.points.push_back({"efpga.config.rot", {.probability = 1.0}});
+  fault::FaultInjector injector(plan);
+  fork_a.attach_injector(&injector);
+  for (int pass = 0; pass < 4; ++pass) fork_a.scrub_efpga();
+  EXPECT_GT(fork_a.efpga_stats().scrub_corrected +
+                fork_a.efpga_stats().scrub_uncorrectable,
+            0u);
+  EXPECT_EQ(fork_b.efpga_config_digest(), digest_before);
+  EXPECT_EQ(fork_b.efpga_stats().scrub_passes, passes_before);
+  EXPECT_EQ(booted.soc.efpga_stats().scrub_passes, passes_before);
+}
+
+TEST(SocFork, SnapshotIsImmutableUnderOriginalMutation) {
+  BootEnvironment booted;
+  ASSERT_TRUE(boot_with_efpga(booted).status.ok());
+
+  const std::uint64_t addr = MemoryMap::kDdrBase + 0x3000;
+  ASSERT_TRUE(booted.soc.write_bytes(addr, pattern_image(512, 0x77)).ok());
+  const SocSnapshot snapshot = booted.soc.snapshot();
+  const std::uint64_t digest_at_snapshot = booted.soc.efpga_config_digest();
+  const std::uint64_t passes_at_snapshot = booted.soc.efpga_stats().scrub_passes;
+
+  // Drift the original: overwrite the range and mutate the configuration
+  // via injected rot.
+  ASSERT_TRUE(booted.soc.write_bytes(addr, pattern_image(512, 0xEE)).ok());
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.points.push_back({"efpga.config.rot", {.probability = 1.0}});
+  fault::FaultInjector injector(plan);
+  booted.soc.attach_injector(&injector);
+  for (int pass = 0; pass < 4; ++pass) booted.soc.scrub_efpga();
+
+  // A fork taken now reproduces the snapshot-time state, not the drifted
+  // one, and carries no injector attachment.
+  Soc fork = Soc::fork(snapshot);
+  EXPECT_EQ(read_range(fork, addr, 512), pattern_image(512, 0x77));
+  EXPECT_EQ(fork.efpga_config_digest(), digest_at_snapshot);
+  EXPECT_EQ(fork.efpga_stats().scrub_passes, passes_at_snapshot);
+  const std::uint64_t fork_digest = fork.efpga_config_digest();
+  fork.scrub_efpga();  // no injector: a clean scrub pass must not change it
+  EXPECT_EQ(fork.efpga_config_digest(), fork_digest);
+}
+
+TEST(SocFork, InvalidSnapshotYieldsFreshSoc) {
+  const SocSnapshot empty;
+  EXPECT_FALSE(empty.valid());
+  Soc fork = Soc::fork(empty);
+  EXPECT_FALSE(fork.cpu0_initialized);
+  EXPECT_FALSE(fork.efpga_programmed);
+  EXPECT_EQ(fork.efpga_stats().frames_programmed, 0u);
+}
+
+TEST(SocFork, CowSharingShrinksOnlyWhereWritten) {
+  BootEnvironment booted;
+  ASSERT_TRUE(boot_with_efpga(booted).status.ok());
+  const SocSnapshot snapshot = booted.soc.snapshot();
+  Soc fork = Soc::fork(snapshot);
+
+  const std::size_t shared_before = fork.pages_shared_with(booted.soc);
+  ASSERT_GT(shared_before, 0u);
+  // One byte dirties exactly one 4 KiB page.
+  const std::uint8_t byte[1] = {0xFF};
+  ASSERT_TRUE(fork.write_bytes(MemoryMap::kDdrBase + 0x1000, byte).ok());
+  EXPECT_EQ(fork.pages_shared_with(booted.soc), shared_before - 1);
+}
+
+}  // namespace
+}  // namespace hermes::boot
