@@ -297,19 +297,21 @@ void BM_ChaosBootScrubCampaign(benchmark::State& state) {
   std::uint64_t plans = 0, healed = 0, fires = 0;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    fault::FaultInjector injector(fault::reseeded(shape, seed++));
+    fault::FaultInjector injector;
     boot::Soc soc;
     if (forked) {
-      soc = boot::Soc::fork(snapshot);
+      // Fork-and-arm in one call: reseeded plan loaded, injector attached.
+      soc = boot::Soc::fork(snapshot, injector, shape, seed++);
     } else {
+      injector.load_plan(fault::reseeded(shape, seed++));
       boot::BootEnvironment env;
       if (!boot_with_bitstream(env, image).status.ok()) {
         state.SkipWithError("boot failed");
         return;
       }
       soc = std::move(env.soc);
+      soc.attach_injector(&injector);
     }
-    soc.attach_injector(&injector);
     for (int pass = 0; pass < 4; ++pass) healed += soc.scrub_efpga();
     ++plans;
     fires += injector.total_fires();

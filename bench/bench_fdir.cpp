@@ -1,0 +1,176 @@
+// FDIR supervisor benchmark: the cost of the recovery ladder's rungs.
+//
+// The headline comparison is recovery latency after an unrecoverable
+// configuration fault: a cold reboot (re-run the boot chain and re-program
+// the eFPGA) versus an FDIR rollback (restore the checkpointed SoC via the
+// copy-on-write fork and re-verify the digest). The rollback rung only earns
+// its place in the ladder if it is decisively cheaper than rebooting — the
+// number recorded in BENCH_fdir.json. Supporting rows measure checkpoint
+// cost and supervisor event throughput, the steady-state overhead a mission
+// pays for having FDIR armed at all.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "boot/bl.hpp"
+#include "boot/loadlist.hpp"
+#include "fdir/supervisor.hpp"
+#include "nxmap/bitstream.hpp"
+
+namespace {
+
+using namespace hermes;
+
+std::vector<std::uint8_t> bench_bitstream(unsigned frames_count,
+                                          std::size_t words_per_frame) {
+  std::vector<nx::BitstreamFrame> frames(frames_count);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    frames[f].column = static_cast<std::uint32_t>(f);
+    for (std::size_t w = 0; w < words_per_frame; ++w) {
+      frames[f].words.push_back(
+          static_cast<std::uint32_t>((f << 20) ^ (w * 0x9E3779B9u)));
+    }
+  }
+  return nx::pack_raw_bitstream(/*device_id=*/0xBEC5, frames);
+}
+
+void stage_bench_boot(boot::BootEnvironment& env) {
+  std::vector<std::uint8_t> bl1(1024, 0x11);
+  boot::LoadList list;
+  boot::LoadEntry fpga;
+  fpga.kind = boot::LoadKind::kBitstream;
+  fpga.name = "accel";
+  fpga.dest_addr = boot::MemoryMap::kDdrBase + 0x10000;
+  list.entries.push_back(fpga);
+  boot::LoadEntry app;
+  app.kind = boot::LoadKind::kBl2;
+  app.name = "app";
+  app.dest_addr = boot::MemoryMap::kDdrBase;
+  list.entries.push_back(app);
+  std::vector<std::vector<std::uint8_t>> images = {
+      bench_bitstream(8, 64), std::vector<std::uint8_t>(2048, 0x22)};
+  boot::stage_boot_media(env, bl1, list, images);
+}
+
+/// arg 0: cold reboot — recover by re-running the whole boot chain;
+/// arg 1: FDIR rollback — the supervisor restores the checkpointed SoC.
+void BM_FdirRecoveryLatency(benchmark::State& state) {
+  const bool rollback = state.range(0) != 0;
+  std::uint64_t recoveries = 0;
+
+  if (rollback) {
+    boot::BootEnvironment env;
+    stage_bench_boot(env);
+    if (!boot::run_boot_chain(env).status.ok()) {
+      state.SkipWithError("boot failed");
+      return;
+    }
+    fdir::FdirBus bus(1024);
+    fdir::FdirConfig config;
+    config.max_restart_attempts = 0;  // isolate the rollback rung's cost
+    config.max_rollbacks = ~0u;
+    fdir::FdirSupervisor supervisor(config, bus);
+    supervisor.attach_soc(&env.soc, nullptr, {});
+    if (!supervisor.checkpoint().ok()) {
+      state.SkipWithError("checkpoint refused");
+      return;
+    }
+    for (auto _ : state) {
+      // One unrecoverable-fault episode: the policy crosses its
+      // repeated-uncorrectable threshold and the ladder restores the ring's
+      // checkpoint (fork + digest re-verification).
+      bus.publish({fdir::Layer::kEfpga, fdir::Severity::kUncorrectable,
+                   ErrorCode::kIntegrityError, 0, recoveries});
+      bus.publish({fdir::Layer::kEfpga, fdir::Severity::kUncorrectable,
+                   ErrorCode::kIntegrityError, 1, recoveries});
+      supervisor.poll();
+      ++recoveries;
+      benchmark::DoNotOptimize(env.soc.efpga_programmed);
+    }
+    if (supervisor.report().rollbacks != recoveries) {
+      // Gate: a broken recovery ladder must fail CI with a nonzero exit,
+      // not silently time an empty loop.
+      std::fprintf(stderr,
+                   "FDIR gate: %llu episodes but %llu rollbacks ran\n",
+                   static_cast<unsigned long long>(recoveries),
+                   static_cast<unsigned long long>(
+                       supervisor.report().rollbacks));
+      std::exit(1);
+    }
+  } else {
+    for (auto _ : state) {
+      boot::BootEnvironment env;
+      stage_bench_boot(env);
+      const boot::BootResult result = boot::run_boot_chain(env);
+      if (!result.status.ok()) {
+        state.SkipWithError("boot failed");
+        return;
+      }
+      ++recoveries;
+      benchmark::DoNotOptimize(env.soc.efpga_programmed);
+    }
+  }
+  state.counters["recoveries"] = static_cast<double>(recoveries);
+  state.counters["recoveries_per_sec"] =
+      benchmark::Counter(static_cast<double>(recoveries),
+                         benchmark::Counter::kIsRate);
+  state.SetLabel(rollback ? "FDIR rollback" : "cold reboot");
+}
+BENCHMARK(BM_FdirRecoveryLatency)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_FdirCheckpointTake(benchmark::State& state) {
+  boot::BootEnvironment env;
+  stage_bench_boot(env);
+  if (!boot::run_boot_chain(env).status.ok()) {
+    state.SkipWithError("boot failed");
+    return;
+  }
+  fdir::FdirBus bus;
+  fdir::FdirConfig config;
+  config.checkpoint_ring = 4;
+  fdir::FdirSupervisor supervisor(config, bus);
+  supervisor.attach_soc(&env.soc, nullptr, {});
+  std::uint64_t taken = 0;
+  for (auto _ : state) {
+    // Steady state: the ring is full, every take digests the configuration,
+    // snapshots the SoC and evicts the oldest entry.
+    if (supervisor.checkpoint().ok()) ++taken;
+  }
+  state.counters["taken"] = static_cast<double>(taken);
+  state.counters["checkpoints_per_sec"] =
+      benchmark::Counter(static_cast<double>(taken),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FdirCheckpointTake)->Unit(benchmark::kMicrosecond);
+
+void BM_FdirSupervisorPoll(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  fdir::FdirBus bus(batch);
+  fdir::FdirConfig config;
+  // Thresholds above the batch keep the policy windows churning without
+  // triggering actions: this measures pure detect-and-classify throughput.
+  config.policy.window = batch * 2;
+  config.policy.rate_threshold = batch + 1;
+  config.policy.uncorrectable_threshold = batch + 1;
+  fdir::FdirSupervisor supervisor(config, bus);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      bus.publish({static_cast<fdir::Layer>(i % fdir::kNumLayers),
+                   fdir::Severity::kCorrected, ErrorCode::kOk,
+                   static_cast<std::uint32_t>(i), events + i});
+    }
+    events += supervisor.poll();
+  }
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(events),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FdirSupervisorPoll)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -56,6 +56,19 @@ void AxiMaster::backoff(unsigned attempt) {
   for (std::uint64_t i = 0; i < idle; ++i) tick();
 }
 
+void AxiMaster::note_burst_failure(const Status& status, bool will_retry) {
+  if (!fdir_) return;
+  fdir::Severity severity;
+  if (will_retry) {
+    severity = fdir::Severity::kRetried;
+  } else if (status.code() == ErrorCode::kInternal) {
+    severity = fdir::Severity::kExhausted;  // SLVERR survived the retry budget
+  } else {
+    severity = fdir::Severity::kUncorrectable;  // watchdog trip or DECERR
+  }
+  fdir_->publish({fdir::Layer::kAxi, severity, status.code(), 0, stats_.cycles});
+}
+
 Status AxiMaster::read_burst_once(const AddrBeat& ar, std::uint64_t addr,
                                   std::span<std::uint8_t> out) {
   const std::uint64_t beat_bytes = 1ULL << ar.size_log2;
@@ -112,8 +125,10 @@ Status AxiMaster::read(std::uint64_t addr, std::span<std::uint8_t> out) {
       // trips end the transfer immediately.
       if (status.code() != ErrorCode::kInternal ||
           attempt >= config_.max_retries) {
+        note_burst_failure(status, /*will_retry=*/false);
         return status;
       }
+      note_burst_failure(status, /*will_retry=*/true);
       stats_.bytes_read = bytes_before;  // retried beats are not new payload
       ++stats_.retries;
       backoff(attempt);
@@ -180,8 +195,10 @@ Status AxiMaster::write(std::uint64_t addr, std::span<const std::uint8_t> data) 
       if (status.ok()) break;
       if (status.code() != ErrorCode::kInternal ||
           attempt >= config_.max_retries) {
+        note_burst_failure(status, /*will_retry=*/false);
         return status;
       }
+      note_burst_failure(status, /*will_retry=*/true);
       ++stats_.retries;
       backoff(attempt);
     }

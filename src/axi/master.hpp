@@ -21,6 +21,7 @@
 #include "axi/checker.hpp"
 #include "axi/slave_memory.hpp"
 #include "common/status.hpp"
+#include "fdir/event.hpp"
 
 namespace hermes::axi {
 
@@ -74,6 +75,12 @@ class AxiMaster {
   /// produces is mirrored into it (retried bursts appear once per attempt).
   void attach_checker(AxiChecker* checker) { checker_ = checker; }
 
+  /// Publishes this master's recovery-ladder outcomes as FDIR events
+  /// (kRetried per SLVERR re-issue, kUncorrectable for watchdog trips and
+  /// DECERR, kExhausted when the retry budget runs out), stamped with the
+  /// master's cycle counter. Pass nullptr to detach.
+  void attach_fdir(fdir::FdirBus* bus) { fdir_ = bus; }
+
  private:
   void tick() {
     slave_.tick();
@@ -87,6 +94,10 @@ class AxiMaster {
   /// Idle backoff before retry attempt `attempt` (0-based).
   void backoff(unsigned attempt);
 
+  /// One failed burst attempt: publish the FDIR event matching where the
+  /// ladder goes next (retry, or give up and with what verdict).
+  void note_burst_failure(const Status& status, bool will_retry);
+
   Status read_burst_once(const AddrBeat& ar, std::uint64_t addr,
                          std::span<std::uint8_t> out);
   Status write_burst_once(const AddrBeat& aw,
@@ -96,6 +107,7 @@ class AxiMaster {
   MasterConfig config_;
   MasterStats stats_;
   AxiChecker* checker_ = nullptr;
+  fdir::FdirBus* fdir_ = nullptr;
 };
 
 }  // namespace hermes::axi

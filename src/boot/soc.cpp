@@ -74,9 +74,10 @@ Status Soc::read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const {
 
 SocSnapshot Soc::snapshot() const {
   auto frozen = std::make_shared<Soc>(*this);
-  // Injection wiring is per-instance: the frozen image must not dangle into
-  // an injector the snapshot outlives.
+  // Injection and FDIR wiring are per-instance: the frozen image must not
+  // dangle into an injector or event bus the snapshot outlives.
   frozen->injector_ = nullptr;
+  frozen->fdir_ = nullptr;
   frozen->pt_header_corrupt_ = fault::kNoFaultPoint;
   frozen->pt_frame_corrupt_ = fault::kNoFaultPoint;
   frozen->pt_frame_drop_ = fault::kNoFaultPoint;
@@ -89,6 +90,14 @@ SocSnapshot Soc::snapshot() const {
 Soc Soc::fork(const SocSnapshot& snapshot) {
   if (!snapshot.valid()) return Soc();
   return *snapshot.state_;  // page tables copied, pages shared
+}
+
+Soc Soc::fork(const SocSnapshot& snapshot, fault::FaultInjector& injector,
+              fault::FaultPlan plan, std::uint64_t seed) {
+  injector.load_plan(fault::reseeded(std::move(plan), seed));
+  Soc forked = fork(snapshot);
+  forked.attach_injector(&injector);
+  return forked;
 }
 
 fault::ScrubMemory& Soc::mutable_efpga_config() {
@@ -124,6 +133,10 @@ Status Soc::program_efpga(std::span<const std::uint8_t> bitstream) {
     if (attempt > 0) {
       charge(efpga_cfg.rewrite_backoff_cycles << (attempt - 1));
       ++efpga_stats_.header_rewrites;
+      if (fdir_) {
+        fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kRetried,
+                        ErrorCode::kIntegrityError, /*detail=*/0, cycles});
+      }
     }
     std::uint32_t written[3] = {header[0], header[1], header[2]};
     charge(2 * 3 * efpga_cfg.cycles_per_word);  // write + readback
@@ -141,7 +154,13 @@ Status Soc::program_efpga(std::span<const std::uint8_t> bitstream) {
   }
   if (!header_ok) {
     ++efpga_stats_.prog_failures;
-    return Status::Error(ErrorCode::kInternal,
+    if (fdir_) {
+      fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kExhausted,
+                      ErrorCode::kDeadlineExceeded, /*detail=*/0, cycles});
+    }
+    // The re-write budget is a bounded wait: exhausting it is a deadline
+    // expiry, not an internal defect.
+    return Status::Error(ErrorCode::kDeadlineExceeded,
                          format("eFPGA header programming failed after %u "
                                 "re-writes",
                                 efpga_cfg.rewrite_budget));
@@ -161,6 +180,11 @@ Status Soc::program_efpga(std::span<const std::uint8_t> bitstream) {
       if (attempt > 0) {
         charge(efpga_cfg.rewrite_backoff_cycles << (attempt - 1));
         ++efpga_stats_.frame_rewrites;
+        if (fdir_) {
+          fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kRetried,
+                          ErrorCode::kIntegrityError,
+                          static_cast<std::uint32_t>(f), cycles});
+        }
       }
       // Write pass. A dropped frame never reaches the array; a corrupted one
       // lands with a flipped word — both are caught by the CRC readback.
@@ -194,8 +218,13 @@ Status Soc::program_efpga(std::span<const std::uint8_t> bitstream) {
     }
     if (!frame_ok) {
       ++efpga_stats_.prog_failures;
+      if (fdir_) {
+        fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kExhausted,
+                        ErrorCode::kDeadlineExceeded,
+                        static_cast<std::uint32_t>(f), cycles});
+      }
       return Status::Error(
-          ErrorCode::kInternal,
+          ErrorCode::kDeadlineExceeded,
           format("eFPGA frame %zu (column %u) programming failed after %u "
                  "re-writes",
                  f, frame.column, efpga_cfg.rewrite_budget));
@@ -222,7 +251,8 @@ std::uint64_t Soc::scrub_efpga() {
   fault::ScrubMemory& config = mutable_efpga_config();
   ++efpga_stats_.scrub_passes;
   std::uint64_t repaired_words = 0;
-  for (const EfpgaFrameDir& frame : efpga_dir_) {
+  for (std::size_t f = 0; f < efpga_dir_.size(); ++f) {
+    const EfpgaFrameDir& frame = efpga_dir_[f];
     if (frame.words == 0) continue;
     // One rot opportunity per frame per pass: 1 flip is an EDAC-correctable
     // upset, 2 distinct flips in the same word are detected-uncorrectable
@@ -254,6 +284,26 @@ std::uint64_t Soc::scrub_efpga() {
       // Frame re-program from the retained configuration source.
       ++efpga_stats_.frames_reprogrammed;
       charge(frame.words * efpga_cfg.cycles_per_word);
+    }
+    if (fdir_) {
+      const auto detail = static_cast<std::uint32_t>(f);
+      if (report.corrected > 0) {
+        fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kCorrected,
+                        ErrorCode::kOk, detail, cycles});
+      }
+      if (report.detected_uncorrectable > 0) {
+        fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kUncorrectable,
+                        ErrorCode::kIntegrityError, detail, cycles});
+      }
+      if (report.repaired > 0) {
+        // The frame re-program rung: a retry at frame granularity.
+        fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kRetried,
+                        ErrorCode::kIntegrityError, detail, cycles});
+      }
+      if (report.silent_corruptions > 0) {
+        fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kExhausted,
+                        ErrorCode::kIntegrityError, detail, cycles});
+      }
     }
     repaired_words += report.corrected + report.repaired;
   }

@@ -17,6 +17,7 @@
 #include "common/status.hpp"
 #include "fault/injector.hpp"
 #include "fault/scrub_memory.hpp"
+#include "fdir/event.hpp"
 #include "hv/types.hpp"
 #include "nxmap/bitstream.hpp"
 
@@ -40,7 +41,8 @@ struct MpuRegion {
 /// Knobs of the eFPGA programming-path recovery ladder.
 struct EfpgaProgConfig {
   /// Re-writes allowed per frame (and for the header) after a failed
-  /// readback before programming escalates to kInternal.
+  /// readback before programming escalates to kDeadlineExceeded (the
+  /// bounded-retry budget is a deadline in disguise).
   unsigned rewrite_budget = 4;
   /// Idle cycles before re-write attempt n (doubles each attempt), mirroring
   /// the AXI retry backoff.
@@ -115,6 +117,14 @@ class Soc {
   /// upsets the static configuration memory between scrub passes).
   void attach_injector(fault::FaultInjector* injector);
 
+  /// Publishes the eFPGA programming/scrub ladder onto an FDIR bus: frame
+  /// re-writes as kRetried, scrub corrections as kCorrected, detected-
+  /// uncorrectable words as kUncorrectable, budget exhaustion and silent
+  /// config rot as kExhausted — all stamped with the SoC cycle counter and
+  /// carrying the frame index in `detail`. Like the injector, this wiring is
+  /// per-instance and never captured by snapshot().
+  void attach_fdir(fdir::FdirBus* bus) { fdir_ = bus; }
+
   // ---- memory access through the map ----
   /// Fails when the target region's controller is not initialized or the
   /// (enabled) MPU forbids the access.
@@ -127,7 +137,8 @@ class Soc {
   /// configuration memory with a per-frame CRC readback after each write.
   /// A failed readback (in-flight corruption or a dropped write) triggers a
   /// bounded re-write with backoff; an exhausted budget escalates to
-  /// kInternal and leaves any previously active configuration untouched.
+  /// kDeadlineExceeded and leaves any previously active configuration
+  /// untouched.
   Status program_efpga(std::span<const std::uint8_t> bitstream);
 
   /// One scrub pass over the programmed configuration memory: every frame's
@@ -161,6 +172,14 @@ class Soc {
   /// freshly constructed Soc.
   [[nodiscard]] static Soc fork(const SocSnapshot& snapshot);
 
+  /// Fork-and-arm in one step: loads `reseeded(plan, seed)` into `injector`
+  /// and returns a fork with it attached — the replica idiom of every
+  /// forked campaign (same scenario shape, fresh per-point RNG streams)
+  /// without the three-line dance at each call site.
+  [[nodiscard]] static Soc fork(const SocSnapshot& snapshot,
+                                fault::FaultInjector& injector,
+                                fault::FaultPlan plan, std::uint64_t seed);
+
   /// Pages of `fork` still physically shared with this Soc across all three
   /// memory regions — observability for tests and campaign diagnostics.
   [[nodiscard]] std::size_t pages_shared_with(const Soc& other) const {
@@ -192,6 +211,7 @@ class Soc {
   std::vector<EfpgaFrameDir> efpga_dir_;
   EfpgaStats efpga_stats_;
   fault::FaultInjector* injector_ = nullptr;
+  fdir::FdirBus* fdir_ = nullptr;
   fault::PointId pt_header_corrupt_ = fault::kNoFaultPoint;
   fault::PointId pt_frame_corrupt_ = fault::kNoFaultPoint;
   fault::PointId pt_frame_drop_ = fault::kNoFaultPoint;

@@ -147,6 +147,11 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
         // task is busy for another latency after an exponential backoff.
         ++stats.node_retries;
         ++stats.retries_per_task[t];
+        if (options.fdir) {
+          options.fdir->publish({fdir::Layer::kDataflow,
+                                 fdir::Severity::kRetried, fault.code(),
+                                 static_cast<std::uint32_t>(t), now});
+        }
         const std::uint64_t backoff = options.retry.backoff_cycles
                                       << firing.attempt;
         busy_cycles[t] += graph.tasks[t].latency;
@@ -155,6 +160,14 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
         return Status::Ok();
       }
       ++stats.node_failures;
+      if (options.fdir) {
+        options.fdir->publish({fdir::Layer::kDataflow,
+                               is_retriable(fault.code())
+                                   ? fdir::Severity::kExhausted
+                                   : fdir::Severity::kUncorrectable,
+                               fault.code(), static_cast<std::uint32_t>(t),
+                               now});
+      }
       return fault;  // permanent, or retry budget exhausted: original code
     }
     for (std::size_t c : out_channels[t]) ++occupancy[c];
@@ -227,6 +240,30 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
   DataflowOptions options;
   options.max_cycles = max_cycles;
   return simulate_dataflow(graph, input_tokens, options);
+}
+
+TaskGraph shed_non_critical(const TaskGraph& graph) {
+  TaskGraph shed;
+  std::vector<std::size_t> remap(graph.tasks.size(), SIZE_MAX);
+  for (std::size_t t = 0; t < graph.tasks.size(); ++t) {
+    if (!graph.tasks[t].critical) continue;
+    remap[t] = shed.tasks.size();
+    shed.tasks.push_back(graph.tasks[t]);
+  }
+  for (const Channel& channel : graph.channels) {
+    if (remap[channel.from] == SIZE_MAX || remap[channel.to] == SIZE_MAX) {
+      continue;  // touches a shed task
+    }
+    shed.channels.push_back(
+        {remap[channel.from], remap[channel.to], channel.capacity});
+  }
+  for (std::size_t s : graph.sources) {
+    if (remap[s] != SIZE_MAX) shed.sources.push_back(remap[s]);
+  }
+  for (std::size_t s : graph.sinks) {
+    if (remap[s] != SIZE_MAX) shed.sinks.push_back(remap[s]);
+  }
+  return shed;
 }
 
 MonolithicStats estimate_monolithic(const TaskGraph& graph) {

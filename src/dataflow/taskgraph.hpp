@@ -24,6 +24,7 @@
 
 #include "common/status.hpp"
 #include "fault/injector.hpp"
+#include "fdir/event.hpp"
 #include "hls/flow.hpp"
 
 namespace hermes::df {
@@ -34,6 +35,10 @@ struct Task {
   std::uint64_t ii = 0;        ///< initiation interval; 0 = not pipelined (=latency)
   unsigned fsm_states = 1;     ///< controller states of the task alone
   std::size_t luts = 0;        ///< datapath resource estimate
+  /// Survives degraded mode. Non-critical tasks (diagnostics, best-effort
+  /// post-processing) are shed by shed_non_critical() when the FDIR
+  /// supervisor degrades the mission.
+  bool critical = true;
   [[nodiscard]] std::uint64_t initiation() const { return ii ? ii : latency; }
 };
 
@@ -96,6 +101,11 @@ struct DataflowOptions {
   /// When set, stats are written here even if the simulation fails — the
   /// retry/failure counters of an aborted run are still meaningful.
   DataflowStats* stats_out = nullptr;
+  /// When set, the node retry ladder publishes FDIR events (kRetried per
+  /// re-execution, kExhausted on budget exhaustion, kUncorrectable for
+  /// permanent faults), stamped with the simulation cycle and carrying the
+  /// task id in `detail`.
+  fdir::FdirBus* fdir = nullptr;
 };
 
 Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
@@ -118,5 +128,13 @@ struct MonolithicStats {
 };
 
 MonolithicStats estimate_monolithic(const TaskGraph& graph);
+
+/// Degraded-mode work shedding: the subgraph of critical tasks, with task
+/// indices remapped and every channel touching a shed task dropped. Shed
+/// subgraphs must be leaf branches (a critical task must never consume from
+/// a non-critical producer, or it starves); callers keep the critical
+/// pipeline closed source-to-sink. Shedding a sink reduces the output-token
+/// demand accordingly.
+TaskGraph shed_non_critical(const TaskGraph& graph);
 
 }  // namespace hermes::df

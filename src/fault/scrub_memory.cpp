@@ -127,7 +127,27 @@ ScrubReport ScrubMemory::scrub_range(std::size_t begin, std::size_t end,
       }
     }
   }
+  publish_scrub(report);
   return report;
+}
+
+void ScrubMemory::publish_scrub(const ScrubReport& report) {
+  if (!fdir_) return;
+  const std::uint64_t stamp = scrub_ordinal_++;
+  const auto emit = [&](fdir::Severity severity, ErrorCode code,
+                        std::size_t count) {
+    if (count == 0) return;
+    fdir_->publish({fdir_layer_, severity, code,
+                    static_cast<std::uint32_t>(count), stamp});
+  };
+  emit(fdir::Severity::kCorrected, ErrorCode::kOk, report.corrected);
+  emit(fdir::Severity::kRetried, ErrorCode::kIntegrityError, report.repaired);
+  emit(fdir::Severity::kUncorrectable, ErrorCode::kIntegrityError,
+       report.detected_uncorrectable - report.repaired);
+  // A silent corruption escaped the scheme entirely — the strongest possible
+  // detection this layer can make (and only via the golden comparison).
+  emit(fdir::Severity::kExhausted, ErrorCode::kIntegrityError,
+       report.silent_corruptions);
 }
 
 ScrubReport ScrubMemory::inject_and_scrub(const SeuCampaignConfig& config,

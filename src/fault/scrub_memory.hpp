@@ -11,6 +11,7 @@
 #include "fault/edac.hpp"
 #include "fault/seu.hpp"
 #include "fault/tmr.hpp"
+#include "fdir/event.hpp"
 
 namespace hermes::fault {
 
@@ -78,13 +79,31 @@ class ScrubMemory {
   /// Bits per raw codeword under the active scheme.
   [[nodiscard]] unsigned codeword_bits() const;
 
+  /// Wires this memory's scrub outcomes onto an FDIR event bus: every
+  /// scrub_range() call publishes what it saw (corrections, detected-
+  /// uncorrectable words, golden repairs, silent corruptions) under `layer`,
+  /// stamped with a per-memory scrub-pass ordinal. Pass nullptr to detach.
+  /// Note the Soc does NOT wire its internal configuration memory — it
+  /// publishes at frame granularity itself; this hook serves standalone
+  /// scrub memories (campaign targets, mission data stores).
+  void attach_event_bus(fdir::FdirBus* bus,
+                        fdir::Layer layer = fdir::Layer::kMemory) {
+    fdir_ = bus;
+    fdir_layer_ = layer;
+  }
+
  private:
+  void publish_scrub(const ScrubReport& report);
+
   Protection protection_;
   std::vector<std::uint32_t> golden_;  ///< what software believes is stored
   // Raw storage; layout depends on the scheme.
   std::vector<std::uint64_t> raw_;      // kNone: 1 word; kEdac: 1 codeword
   std::vector<std::uint64_t> raw_b_;    // kTmr replica B
   std::vector<std::uint64_t> raw_c_;    // kTmr replica C
+  fdir::FdirBus* fdir_ = nullptr;       // not state: copies share the wiring
+  fdir::Layer fdir_layer_ = fdir::Layer::kMemory;
+  std::uint64_t scrub_ordinal_ = 0;     // monotonic stamp for published events
 };
 
 }  // namespace hermes::fault

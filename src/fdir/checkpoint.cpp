@@ -1,0 +1,54 @@
+#include "fdir/checkpoint.hpp"
+
+#include "common/strings.hpp"
+
+namespace hermes::fdir {
+
+CheckpointManager::CheckpointManager(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+Status CheckpointManager::take(const boot::Soc& soc) {
+  if (recovering_) {
+    ++stats_.refused;
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "checkpoint refused: recovery in progress");
+  }
+  if (soc.efpga_stats().scrub_silent != 0) {
+    ++stats_.refused;
+    return Status::Error(ErrorCode::kIntegrityError,
+                         "checkpoint refused: silent configuration rot on "
+                         "record — state cannot be proven clean");
+  }
+  const std::uint64_t digest = soc.efpga_config_digest();
+  if (have_reference_ && digest != reference_digest_) {
+    ++stats_.refused;
+    return Status::Error(
+        ErrorCode::kIntegrityError,
+        format("checkpoint refused: configuration digest %016llx does not "
+               "match the reference %016llx",
+               static_cast<unsigned long long>(digest),
+               static_cast<unsigned long long>(reference_digest_)));
+  }
+  if (ring_.size() >= capacity_) {
+    ring_.erase(ring_.begin());
+    ++stats_.evicted;
+  }
+  Checkpoint checkpoint;
+  checkpoint.snapshot = soc.snapshot();
+  checkpoint.digest = digest;
+  checkpoint.cycles = soc.cycles;
+  checkpoint.id = next_id_++;
+  ring_.push_back(std::move(checkpoint));
+  ++stats_.taken;
+  return Status::Ok();
+}
+
+void CheckpointManager::drop_newest() {
+  if (ring_.empty()) return;
+  ring_.pop_back();
+  ++stats_.dropped;
+}
+
+}  // namespace hermes::fdir

@@ -1,0 +1,49 @@
+#include "fdir/event.hpp"
+
+namespace hermes::fdir {
+
+const char* to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kAxi: return "axi";
+    case Layer::kBoot: return "boot";
+    case Layer::kEfpga: return "efpga";
+    case Layer::kMemory: return "memory";
+    case Layer::kHypervisor: return "hypervisor";
+    case Layer::kDataflow: return "dataflow";
+    case Layer::kSupervisor: return "supervisor";
+  }
+  return "?";
+}
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kCorrected: return "corrected";
+    case Severity::kRetried: return "retried";
+    case Severity::kUncorrectable: return "uncorrectable";
+    case Severity::kExhausted: return "exhausted";
+  }
+  return "?";
+}
+
+FdirBus::FdirBus(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+  queue_.reserve(capacity_);
+}
+
+void FdirBus::publish(const FdirEvent& event) {
+  if (queue_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(event);
+  ++published_;
+}
+
+std::vector<FdirEvent> FdirBus::drain() {
+  std::vector<FdirEvent> out;
+  out.swap(queue_);
+  queue_.reserve(capacity_);
+  return out;
+}
+
+}  // namespace hermes::fdir

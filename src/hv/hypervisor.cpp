@@ -266,6 +266,29 @@ void Hypervisor::hm_raise(PartitionId id, HmEvent event, Time now) {
     state_[id].escalated = true;
   }
   hm_log_.push_back({now, id, event, action});
+  if (fdir_) {
+    fdir::Severity severity;
+    switch (action) {
+      case HmAction::kRestartPartition:
+        severity = fdir::Severity::kRetried;
+        break;
+      case HmAction::kSuspendPartition:
+      case HmAction::kHaltPartition:
+        severity = fdir::Severity::kExhausted;
+        break;
+      default:
+        severity = fdir::Severity::kInfo;
+        break;
+    }
+    const ErrorCode code =
+        event == HmEvent::kMemoryViolation || event == HmEvent::kIllegalHypercall
+            ? ErrorCode::kIsolationFault
+        : event == HmEvent::kDeadlineMiss || event == HmEvent::kBudgetOverrun
+            ? ErrorCode::kDeadlineExceeded
+            : ErrorCode::kInternal;
+    fdir_->publish({fdir::Layer::kHypervisor, severity, code,
+                    static_cast<std::uint32_t>(id), now});
+  }
   switch (action) {
     case HmAction::kIgnore:
     case HmAction::kLog:

@@ -19,6 +19,7 @@
 
 #include "common/status.hpp"
 #include "fault/injector.hpp"
+#include "fdir/event.hpp"
 #include "hv/ports.hpp"
 #include "hv/types.hpp"
 
@@ -162,6 +163,11 @@ class Hypervisor {
   /// completion — exercising the restart-budget escalation).
   void attach_injector(fault::FaultInjector* injector);
 
+  /// Publishes every health-monitor verdict as an FDIR event: restarts as
+  /// kRetried, suspend/halt escalations as kExhausted, logged observations
+  /// as kInfo — stamped in microseconds with the partition id in `detail`.
+  void attach_fdir(fdir::FdirBus* bus) { fdir_ = bus; }
+
   /// Runs `duration` microseconds (rounded down to whole major frames is NOT
   /// applied — the plan wraps mid-frame if needed).
   Result<RunStats> run(Time duration);
@@ -238,6 +244,7 @@ class Hypervisor {
   fault::FaultInjector* injector_ = nullptr;
   fault::PointId pt_overrun_ = fault::kNoFaultPoint;
   fault::PointId pt_crash_ = fault::kNoFaultPoint;
+  fdir::FdirBus* fdir_ = nullptr;
 };
 
 }  // namespace hermes::hv

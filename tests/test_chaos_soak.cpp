@@ -528,10 +528,9 @@ TEST(ChaosSoak, ForkedScrubCampaignDeterministicAndIsolated) {
   const FaultPlan shape = make_random_plan(1, kEfpgaPoints);
 
   const auto run_fork_once = [&](std::uint64_t seed) {
-    boot::Soc fork = boot::Soc::fork(snapshot);
+    FaultInjector injector;
+    boot::Soc fork = boot::Soc::fork(snapshot, injector, shape, seed);
     EXPECT_EQ(fork.efpga_config_digest(), baseline_digest);
-    FaultInjector injector(reseeded(shape, seed));
-    fork.attach_injector(&injector);
     for (int pass = 0; pass < 4; ++pass) (void)fork.scrub_efpga();
     const boot::EfpgaStats& stats = fork.efpga_stats();
     EXPECT_EQ(stats.scrub_silent, 0u) << "seed " << seed;
