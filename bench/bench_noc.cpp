@@ -1,0 +1,196 @@
+// NoC crossbar benchmark: throughput and containment cost of the fault-
+// contained multi-accelerator interconnect (src/noc/).
+//
+// The headline rows, recorded in BENCH_noc.json:
+//   * aggregate throughput of the canonical contention scenario (4 ports in
+//     2 QoS classes over 6 endpoints in 3 containment domains, saturated);
+//   * completion latency under load split by QoS class — the deterministic
+//     priority arbiter must keep the high class decisively ahead;
+//   * quarantine vs drain — after an endpoint wedge, FDIR quarantine parks
+//     the faulted domain in bounded time, versus riding the run deadline
+//     with the wedge unfenced.
+//
+// Every arm doubles as a CI gate: any silent corruption, and any chaos run
+// that does not replay bit-identically, exits nonzero instead of timing a
+// broken fabric.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "noc/noc.hpp"
+#include "noc/workload.hpp"
+
+namespace {
+
+using namespace hermes;
+
+/// Hard gate shared by every arm: the robustness contract is detected-or-
+/// clean, so a single silent corruption fails the bench run outright.
+void gate_silent(const noc::FabricResult& result, const char* arm) {
+  if (result.silent == 0) return;
+  std::fprintf(stderr, "NoC gate (%s): %llu silent corruptions\n", arm,
+               static_cast<unsigned long long>(result.silent));
+  std::exit(1);
+}
+
+void BM_NocAggregateThroughput(benchmark::State& state) {
+  std::uint64_t beats = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    noc::ContentionScenario scenario = noc::make_contention_scenario(7);
+    noc::Crossbar fabric(scenario.fabric, scenario.ports, scenario.endpoints);
+    for (noc::PortTraffic& t : scenario.traffic) {
+      fabric.bind_workload(t.port, t.beats);
+    }
+    const noc::FabricResult result = fabric.run();
+    if (!result.status.ok()) {
+      state.SkipWithError("fault-free contention run failed");
+      return;
+    }
+    gate_silent(result, "throughput");
+    for (const noc::PortStats& port : result.ports) beats += port.completed;
+    cycles += result.cycles;
+    ++runs;
+  }
+  state.counters["beats_per_sec"] = benchmark::Counter(
+      static_cast<double>(beats), benchmark::Counter::kIsRate);
+  state.counters["cycles_per_run"] =
+      runs ? static_cast<double>(cycles) / static_cast<double>(runs) : 0.0;
+}
+BENCHMARK(BM_NocAggregateThroughput)->Unit(benchmark::kMicrosecond);
+
+/// arg 0: high-priority class; arg 1: low class. Four ports — two per QoS
+/// class — drive IDENTICAL packet streams into the same two endpoints, so
+/// the only difference between the classes is the arbiter's priority rule;
+/// the per-class mean completion latency isolates what QoS buys under load.
+void BM_NocLatencyUnderLoad(benchmark::State& state) {
+  const bool low_class = state.range(0) != 0;
+  std::uint64_t latency = 0;
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    noc::FabricConfig config;
+    config.beat_timeout_cycles = 256;
+    config.run_deadline_cycles = 100'000;
+    const std::vector<noc::PortConfig> ports = {
+        {"high-a", 0, 1, 8, hv::kNoPartition},
+        {"high-b", 0, 1, 8, hv::kNoPartition},
+        {"low-a", 1, 1, 8, hv::kNoPartition},
+        {"low-b", 1, 1, 8, hv::kNoPartition},
+    };
+    const std::vector<noc::EndpointConfig> endpoints = {
+        {"efpga-a", 0, 4, 4, 4},
+        {"efpga-b", 0, 4, 4, 4},
+    };
+    noc::Crossbar fabric(config, ports, endpoints);
+    for (std::uint32_t port = 0; port < 4; ++port) {
+      for (std::uint32_t endpoint = 0; endpoint < 2; ++endpoint) {
+        noc::WorkloadSpec spec;
+        spec.pattern = noc::TrafficPattern::kPacketStream;
+        spec.endpoint = endpoint;
+        spec.items = 16;
+        spec.seed = 31 + endpoint;  // same shape for every port in a class
+        fabric.bind_workload(port, noc::generate_workload(spec));
+      }
+    }
+    const noc::FabricResult result = fabric.run();
+    if (!result.status.ok()) {
+      state.SkipWithError("fault-free latency run failed");
+      return;
+    }
+    gate_silent(result, "latency");
+    for (std::size_t p = 0; p < result.ports.size(); ++p) {
+      if ((ports[p].priority != 0) != low_class) continue;
+      latency += result.ports[p].latency_sum;
+      completed += result.ports[p].completed;
+    }
+  }
+  state.counters["avg_latency_cycles"] =
+      completed ? static_cast<double>(latency) / static_cast<double>(completed)
+                : 0.0;
+  state.SetLabel(low_class ? "low QoS class" : "high QoS class");
+}
+BENCHMARK(BM_NocLatencyUnderLoad)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// arg 1: FDIR containment — the progress watchdog quarantines the wedged
+/// endpoint's domain and the healthy domains run on; arg 0: no containment —
+/// the wedge is left unfenced and the run grinds to its deadline.
+void BM_NocQuarantineVsDrain(benchmark::State& state) {
+  const bool quarantine = state.range(0) != 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t healthy_completed = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    noc::ContentionScenario scenario = noc::make_contention_scenario(23);
+    scenario.fabric.quarantine_on_watchdog = quarantine;
+    scenario.fabric.fault_domain_filter = 0;  // wedge only domain 0
+    scenario.fabric.run_deadline_cycles = 30'000;
+    noc::Crossbar fabric(scenario.fabric, scenario.ports, scenario.endpoints);
+    fault::FaultPlan plan;
+    plan.seed = 23;
+    plan.points.push_back(
+        {"noc.endpoint.wedge", {.probability = 1.0, .max_fires = 1}});
+    fault::FaultInjector injector(plan);
+    fabric.attach_injector(&injector);
+    for (noc::PortTraffic& t : scenario.traffic) {
+      fabric.bind_workload(t.port, t.beats);
+    }
+    const noc::FabricResult result = fabric.run();
+    // The unfenced arm is expected to hit the run deadline; the quarantine
+    // arm must not.
+    if (quarantine && !result.status.ok()) {
+      state.SkipWithError("quarantine arm hit the run deadline");
+      return;
+    }
+    gate_silent(result, "quarantine-vs-drain");
+    cycles += result.cycles;
+    for (std::size_t d = 1; d < result.domains.size(); ++d) {
+      healthy_completed += result.domains[d].completed;
+    }
+    ++runs;
+  }
+  state.counters["cycles_to_quiesce"] =
+      runs ? static_cast<double>(cycles) / static_cast<double>(runs) : 0.0;
+  state.counters["healthy_beats_per_run"] =
+      runs ? static_cast<double>(healthy_completed) / static_cast<double>(runs)
+           : 0.0;
+  state.SetLabel(quarantine ? "FDIR quarantine" : "unfenced (ride deadline)");
+}
+BENCHMARK(BM_NocQuarantineVsDrain)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// Times one full-catalog chaos run per iteration AND replays every one: a
+/// chaos run that does not reproduce bit-identically exits nonzero, so a
+/// determinism regression fails CI here rather than only in the soak suite.
+void BM_NocChaosFingerprintGate(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    std::uint64_t silent = ~0ULL;
+    const std::uint64_t once =
+        noc::run_noc_chaos_once(seed, noc::noc_point_catalog(), &silent);
+    state.PauseTiming();
+    const std::uint64_t again =
+        noc::run_noc_chaos_once(seed, noc::noc_point_catalog(), nullptr);
+    if (once != again || silent != 0) {
+      std::fprintf(stderr,
+                   "NoC gate: seed %llu fingerprints %016llx vs %016llx, "
+                   "silent %llu\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(once),
+                   static_cast<unsigned long long>(again),
+                   static_cast<unsigned long long>(silent));
+      std::exit(1);
+    }
+    ++seed;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(once);
+  }
+}
+BENCHMARK(BM_NocChaosFingerprintGate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

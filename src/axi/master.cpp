@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/backoff.hpp"
 #include "common/strings.hpp"
 
 namespace hermes::axi {
@@ -52,7 +53,8 @@ Status AxiMaster::decode_resp(Resp resp, const AddrBeat& burst) const {
 }
 
 void AxiMaster::backoff(unsigned attempt) {
-  const std::uint64_t idle = config_.retry_backoff_cycles << attempt;
+  const std::uint64_t idle =
+      backoff_cycles(config_.retry_backoff_cycles, attempt);
   for (std::uint64_t i = 0; i < idle; ++i) tick();
 }
 

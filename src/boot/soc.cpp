@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/backoff.hpp"
 #include "common/strings.hpp"
 
 namespace hermes::boot {
@@ -131,7 +132,7 @@ Status Soc::program_efpga(std::span<const std::uint8_t> bitstream) {
   bool header_ok = false;
   for (unsigned attempt = 0; attempt <= efpga_cfg.rewrite_budget; ++attempt) {
     if (attempt > 0) {
-      charge(efpga_cfg.rewrite_backoff_cycles << (attempt - 1));
+      charge(backoff_cycles(efpga_cfg.rewrite_backoff_cycles, attempt - 1));
       ++efpga_stats_.header_rewrites;
       if (fdir_) {
         fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kRetried,
@@ -178,7 +179,7 @@ Status Soc::program_efpga(std::span<const std::uint8_t> bitstream) {
     bool frame_ok = false;
     for (unsigned attempt = 0; attempt <= efpga_cfg.rewrite_budget; ++attempt) {
       if (attempt > 0) {
-        charge(efpga_cfg.rewrite_backoff_cycles << (attempt - 1));
+        charge(backoff_cycles(efpga_cfg.rewrite_backoff_cycles, attempt - 1));
         ++efpga_stats_.frame_rewrites;
         if (fdir_) {
           fdir_->publish({fdir::Layer::kEfpga, fdir::Severity::kRetried,

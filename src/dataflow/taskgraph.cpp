@@ -5,6 +5,7 @@
 #include <queue>
 #include <set>
 
+#include "common/backoff.hpp"
 #include "common/bits.hpp"
 #include "common/strings.hpp"
 
@@ -152,8 +153,8 @@ Result<DataflowStats> simulate_dataflow(const TaskGraph& graph,
                                  fdir::Severity::kRetried, fault.code(),
                                  static_cast<std::uint32_t>(t), now});
         }
-        const std::uint64_t backoff = options.retry.backoff_cycles
-                                      << firing.attempt;
+        const std::uint64_t backoff =
+            backoff_cycles(options.retry.backoff_cycles, firing.attempt);
         busy_cycles[t] += graph.tasks[t].latency;
         in_flight.push(
             {now + backoff + graph.tasks[t].latency, t, firing.attempt + 1});

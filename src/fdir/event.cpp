@@ -11,6 +11,8 @@ const char* to_string(Layer layer) {
     case Layer::kHypervisor: return "hypervisor";
     case Layer::kDataflow: return "dataflow";
     case Layer::kSupervisor: return "supervisor";
+    case Layer::kNoc: return "noc";
+    case Layer::kCount: break;
   }
   return "?";
 }
@@ -22,6 +24,7 @@ const char* to_string(Severity severity) {
     case Severity::kRetried: return "retried";
     case Severity::kUncorrectable: return "uncorrectable";
     case Severity::kExhausted: return "exhausted";
+    case Severity::kCount: break;
   }
   return "?";
 }

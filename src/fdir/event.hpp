@@ -34,8 +34,13 @@ enum class Layer : std::uint8_t {
   kHypervisor = 4,  ///< XtratuM health monitor
   kDataflow = 5,    ///< dataflow node re-execution ladder
   kSupervisor = 6,  ///< the FDIR supervisor itself
+  kNoc = 7,         ///< interconnect crossbar (credits, CRC, watchdogs)
+  // Add new layers above and name them in to_string(); the enum-string
+  // exhaustiveness test walks [0, kCount) and fails on a missing name.
+  kCount,
 };
-inline constexpr std::size_t kNumLayers = 7;
+inline constexpr std::size_t kNumLayers =
+    static_cast<std::size_t>(Layer::kCount);
 
 const char* to_string(Layer layer);
 
@@ -47,6 +52,7 @@ enum class Severity : std::uint8_t {
   kRetried = 2,        ///< a bounded retry/re-write/re-execution rung taken
   kUncorrectable = 3,  ///< detected but beyond the layer's own means
   kExhausted = 4,      ///< the layer's escalation budget ran out
+  kCount,              ///< sentinel for exhaustiveness tests — keep last
 };
 
 const char* to_string(Severity severity);

@@ -10,6 +10,8 @@ const char* to_string(IsolationAction action) {
     case IsolationAction::kFenceMemory: return "fence_memory";
     case IsolationAction::kShedDataflow: return "shed_dataflow";
     case IsolationAction::kRollback: return "rollback";
+    case IsolationAction::kQuarantineNocDomain: return "quarantine_noc_domain";
+    case IsolationAction::kCount: break;
   }
   return "?";
 }
@@ -30,7 +32,11 @@ IsolationAction PolicyEngine::isolation_for(Layer layer) {
       return IsolationAction::kFenceMemory;
     case Layer::kDataflow:
       return IsolationAction::kShedDataflow;
+    case Layer::kNoc:
+      // The event's `detail` carries the containment domain by contract.
+      return IsolationAction::kQuarantineNocDomain;
     case Layer::kSupervisor:
+    case Layer::kCount:
       return IsolationAction::kNone;
   }
   return IsolationAction::kNone;

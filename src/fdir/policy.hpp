@@ -33,6 +33,8 @@ enum class IsolationAction : std::uint8_t {
   kFenceMemory,            ///< write-fence the suspect memory region (MPU)
   kShedDataflow,           ///< degrade: shed non-critical dataflow work
   kRollback,               ///< restore the last known-good checkpoint
+  kQuarantineNocDomain,    ///< quarantine + drain one NoC containment domain
+  kCount,                  ///< sentinel for exhaustiveness tests — keep last
 };
 
 const char* to_string(IsolationAction action);

@@ -1,0 +1,85 @@
+// Virtual-device traffic generators and canned contention scenarios for the
+// NoC crossbar.
+//
+// The ROADMAP's heavy-traffic multi-accelerator item calls for virtual-
+// platform device families streaming work through the shared transport:
+// camera producers emit dense frames, codec blocks arrive in bursts, packet
+// streams trickle with jitter. Each generator is a pure function of its spec
+// (seeded splitmix payloads, fixed shapes), so a scenario replays
+// bit-identically — the property every chaos-soak family leans on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/threadpool.hpp"
+#include "dataflow/taskgraph.hpp"
+#include "noc/noc.hpp"
+
+namespace hermes::noc {
+
+enum class TrafficPattern : std::uint8_t {
+  kCameraFrames,  ///< dense frames: 64 back-to-back beats, 32-cycle gaps
+  kCodecBlocks,   ///< bursty blocks: 16 beats, 8-cycle gaps
+  kPacketStream,  ///< 1..8-beat packets with seeded 0..15-cycle jitter
+};
+
+struct WorkloadSpec {
+  TrafficPattern pattern = TrafficPattern::kPacketStream;
+  std::uint32_t endpoint = 0;
+  std::uint32_t items = 8;  ///< frames / blocks / packets to emit
+  std::uint64_t seed = 1;
+  std::uint64_t start_cycle = 0;
+};
+
+/// Expands a spec into release-ordered beat requests for one (port, endpoint)
+/// stream. Deterministic: same spec, same beats.
+std::vector<BeatRequest> generate_workload(const WorkloadSpec& spec);
+
+/// One port's bound traffic (possibly merged from several specs).
+struct PortTraffic {
+  std::uint32_t port = 0;
+  std::vector<BeatRequest> beats;
+};
+
+/// Dataflow tasks as NoC traffic sources: every source task of the graph
+/// becomes a beat stream whose inter-beat gap is the task's initiation
+/// interval — the fabric sees the same token rate the discrete-event engine
+/// would produce. Tasks are dealt round-robin across ports and endpoints.
+std::vector<PortTraffic> workloads_from_taskgraph(const df::TaskGraph& graph,
+                                                  std::uint64_t tokens,
+                                                  std::uint64_t seed,
+                                                  std::uint32_t num_ports,
+                                                  std::uint32_t num_endpoints);
+
+/// The canonical contention scenario used by tests, soaks, and benches:
+/// 4 partition ports in 2 priority classes (weights 3:1 within a class)
+/// driving 6 endpoints spread over 3 containment domains with camera, codec,
+/// and two packet streams — enough crosstalk that arbitration, credits, and
+/// containment all get exercised at once.
+struct ContentionScenario {
+  FabricConfig fabric;
+  std::vector<PortConfig> ports;
+  std::vector<EndpointConfig> endpoints;
+  std::vector<PortTraffic> traffic;
+};
+
+ContentionScenario make_contention_scenario(std::uint64_t seed);
+
+/// One chaos run: contention scenario + random plan over `points` (empty =
+/// the noc.* catalog), quarantine-on-watchdog containment enabled. Returns
+/// the run fingerprint folded with the injector's fire count, and reports
+/// silent corruptions through `silent_out` when non-null (the soak asserts
+/// the count stays zero).
+std::uint64_t run_noc_chaos_once(std::uint64_t seed,
+                                 std::span<const std::string_view> points,
+                                 std::uint64_t* silent_out = nullptr);
+
+/// Campaign over `count` seeds starting at `first_seed`, one fingerprint per
+/// seed. Runs on `pool` when given (each index writes only its own slot —
+/// bit-identical to the serial run, the TSan target), inline otherwise.
+std::vector<std::uint64_t> run_noc_campaign(std::uint64_t first_seed,
+                                            std::size_t count,
+                                            ThreadPool* pool = nullptr);
+
+}  // namespace hermes::noc

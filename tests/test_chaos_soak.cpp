@@ -18,9 +18,13 @@
 #include "hls/flow.hpp"
 #include "hv/hypervisor.hpp"
 #include "nxmap/bitstream.hpp"
+#include "soak_util.hpp"
 
 namespace hermes::fault {
 namespace {
+
+using soak::kFnvBasis;
+using soak::mix;
 
 constexpr std::uint64_t kBootSeeds = 80;
 constexpr std::uint64_t kAxiSeeds = 60;
@@ -32,13 +36,6 @@ constexpr std::uint64_t kForkSeeds = 30;
 static_assert(kBootSeeds + kAxiSeeds + kHvSeeds + kEfpgaSeeds +
                       kDataflowSeeds + kSlicedSeeds + kForkSeeds >= 280,
               "the soak must cover at least 280 fault plans");
-
-/// FNV-1a accumulation over 64-bit words: the outcome fingerprint.
-std::uint64_t mix(std::uint64_t hash, std::uint64_t value) {
-  hash ^= value;
-  return hash * 1099511628211ULL;
-}
-constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
 
 constexpr std::string_view kBootPoints[] = {
     "flash.rot.replica", "flash.rot.voted", "spw.frame.corrupt",

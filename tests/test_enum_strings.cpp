@@ -1,0 +1,63 @@
+// Exhaustiveness tests for every enum with a to_string(): a new enum value
+// added without a name (say, a new ErrorCode or FDIR layer) must fail here
+// instead of printing "unknown"/"?" in reports and audit trails. Each enum
+// carries a kCount sentinel; the tests walk [0, kCount) and require every
+// name to be present and unique.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "common/status.hpp"
+#include "fdir/event.hpp"
+#include "fdir/policy.hpp"
+#include "fdir/supervisor.hpp"
+
+namespace hermes {
+namespace {
+
+/// Asserts to_string over [0, count) yields no fallback and no duplicates.
+template <typename Enum>
+void expect_exhaustive_names(std::size_t count, const char* fallback,
+                             const char* enum_name) {
+  std::set<std::string> seen;
+  for (std::size_t value = 0; value < count; ++value) {
+    const std::string name = to_string(static_cast<Enum>(value));
+    EXPECT_NE(name, fallback)
+        << enum_name << " value " << value << " has no name";
+    EXPECT_TRUE(seen.insert(name).second)
+        << enum_name << " value " << value << " duplicates name " << name;
+  }
+}
+
+TEST(EnumStrings, ErrorCodeNamesAreExhaustive) {
+  expect_exhaustive_names<ErrorCode>(
+      static_cast<std::size_t>(ErrorCode::kCount), "unknown", "ErrorCode");
+}
+
+TEST(EnumStrings, FdirLayerNamesAreExhaustive) {
+  expect_exhaustive_names<fdir::Layer>(
+      static_cast<std::size_t>(fdir::Layer::kCount), "?", "fdir::Layer");
+  // kNumLayers (the per-layer report array bound) must track the enum.
+  EXPECT_EQ(fdir::kNumLayers, static_cast<std::size_t>(fdir::Layer::kCount));
+}
+
+TEST(EnumStrings, FdirSeverityNamesAreExhaustive) {
+  expect_exhaustive_names<fdir::Severity>(
+      static_cast<std::size_t>(fdir::Severity::kCount), "?", "fdir::Severity");
+}
+
+TEST(EnumStrings, IsolationActionNamesAreExhaustive) {
+  expect_exhaustive_names<fdir::IsolationAction>(
+      static_cast<std::size_t>(fdir::IsolationAction::kCount), "?",
+      "fdir::IsolationAction");
+}
+
+TEST(EnumStrings, FdirModeNamesAreExhaustive) {
+  expect_exhaustive_names<fdir::FdirMode>(
+      static_cast<std::size_t>(fdir::FdirMode::kCount), "?", "fdir::FdirMode");
+}
+
+}  // namespace
+}  // namespace hermes

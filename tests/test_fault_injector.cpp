@@ -14,6 +14,7 @@
 #include "dataflow/taskgraph.hpp"
 #include "fault/injector.hpp"
 #include "hv/hypervisor.hpp"
+#include "noc/noc.hpp"
 
 namespace hermes::fault {
 namespace {
@@ -187,6 +188,8 @@ TEST(Plans, CatalogCoversEveryRegisteredPoint) {
   df::DataflowOptions df_options;
   df_options.injector = &inj;
   (void)df::simulate_dataflow(graph, 1, df_options);
+  noc::Crossbar fabric(noc::FabricConfig{}, {{"p0"}}, {{"e0"}});
+  fabric.attach_injector(&inj);
 
   const auto catalog = default_point_catalog();
   for (std::size_t i = 0; i < inj.num_points(); ++i) {

@@ -25,20 +25,17 @@
 #include "fault/injector.hpp"
 #include "fdir/supervisor.hpp"
 #include "nxmap/bitstream.hpp"
+#include "soak_util.hpp"
 
 namespace hermes::fdir {
 namespace {
 
+using soak::kFnvBasis;
+using soak::mix;
+
 constexpr std::uint64_t kRollbackSeeds = 16;
 constexpr std::uint64_t kQuarantineSeeds = 10;
 constexpr std::uint64_t kRingSeeds = 16;
-
-/// FNV-1a accumulation over 64-bit words — same witness the chaos soak uses.
-std::uint64_t mix(std::uint64_t hash, std::uint64_t value) {
-  hash ^= value;
-  return hash * 1099511628211ULL;
-}
-constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
 
 std::vector<std::uint8_t> soak_bitstream() {
   std::vector<nx::BitstreamFrame> frames(3);
