@@ -1,0 +1,229 @@
+// JIT backend vs fast-pathed event interpreter (ISSUE 9 perf work).
+//
+// The workload is the bench_sim_engines fabric — 32 channels of 24-deep
+// comb chains behind input ports plus a free-running counter — driven at
+// full dense toggle (every input changes every cycle, the interpreter's
+// worst case and the JIT's home turf) and at sparse toggle (only the counter
+// runs; the event engine's dirty-level tracking and the JIT's level-resume
+// both matter here). Inputs are set through pre-resolved WireIds so port
+// lookup never pollutes the engine comparison. Two more arms measure the
+// kernel cache: cold compile (cache cleared every iteration) and warm-hit
+// simulator construction.
+//
+// `bench_jit --smoke` runs the CI gate instead of the gbench harness: a
+// fixed-cycle dense-toggle run on both engines, exiting nonzero when the
+// checksums differ or the JIT speedup drops below 3x (skips cleanly, exit 0,
+// when the host cannot JIT at all).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/jit/cache.hpp"
+#include "hw/jit/exec_memory.hpp"
+#include "hw/netlist.hpp"
+#include "hw/sim.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::hw;
+
+constexpr int kChannels = 32;
+constexpr int kDepth = 24;
+
+Module make_fabric() {
+  Module m("jit_fabric");
+  Rng rng(42);
+
+  const WireId one = m.make_const(1, 1);
+  const WireId cnt_d = m.add_wire(16, "cnt_d");
+  const WireId cnt_q = m.make_register(cnt_d, one, 0, "cnt_q");
+  const WireId inc = m.make_const(1, 16);
+  Cell add;
+  add.kind = CellKind::kAdd;
+  add.inputs = {cnt_q, inc};
+  add.outputs = {cnt_d};
+  m.add_cell(std::move(add));
+  m.add_output(cnt_q, "count");
+
+  static const CellKind kChainOps[] = {CellKind::kAdd, CellKind::kXor,
+                                       CellKind::kMul, CellKind::kOr,
+                                       CellKind::kSub};
+  std::vector<WireId> channel_regs;
+  for (int c = 0; c < kChannels; ++c) {
+    const std::string port = "in" + std::to_string(c);
+    const WireId in = m.add_wire(32, port);
+    m.add_input(in, port);
+    WireId x = in;
+    for (int d = 0; d < kDepth; ++d) {
+      const WireId k = m.make_const(rng.next_u64() | 1, 32);
+      x = m.make_binop(kChainOps[(c + d) % std::size(kChainOps)], x, k, 32);
+    }
+    channel_regs.push_back(m.make_register(x, one, 0));
+  }
+
+  WireId folded = channel_regs[0];
+  for (std::size_t c = 1; c < channel_regs.size(); ++c) {
+    folded = m.make_binop(CellKind::kXor, folded, channel_regs[c], 32);
+  }
+  m.add_output(folded, "sig");
+  return m;
+}
+
+std::vector<WireId> input_wires(const Module& fabric) {
+  std::vector<WireId> wires;
+  for (int c = 0; c < kChannels; ++c) {
+    wires.push_back(fabric.port_wire("in" + std::to_string(c)));
+  }
+  return wires;
+}
+
+void run_toggle_bench(benchmark::State& state, SimBackend backend,
+                      bool dense) {
+  const Module fabric = make_fabric();
+  Simulator sim(fabric, SimOptions{.backend = backend});
+  if (!sim.status().ok()) {
+    state.SkipWithError("simulator construction failed");
+    return;
+  }
+  const std::vector<WireId> inputs = input_wires(fabric);
+  Rng rng(7);
+  std::uint64_t cycles = 0;
+  std::uint64_t checksum = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 200; ++i) {
+      if (dense) {
+        for (const WireId wire : inputs) sim.set_input(wire, rng.next_u64());
+      }
+      sim.step();
+      ++cycles;
+    }
+    checksum ^= sim.get_output("sig") ^ sim.get_output("count");
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+  state.SetLabel(std::string(to_string(sim.active_backend())) +
+                 (dense ? " dense" : " sparse"));
+}
+
+void BM_DenseToggle_Interp(benchmark::State& state) {
+  run_toggle_bench(state, SimBackend::kEvent, /*dense=*/true);
+}
+void BM_DenseToggle_Jit(benchmark::State& state) {
+  run_toggle_bench(state, SimBackend::kJit, /*dense=*/true);
+}
+void BM_SparseToggle_Interp(benchmark::State& state) {
+  run_toggle_bench(state, SimBackend::kEvent, /*dense=*/false);
+}
+void BM_SparseToggle_Jit(benchmark::State& state) {
+  run_toggle_bench(state, SimBackend::kJit, /*dense=*/false);
+}
+
+/// Cold compile: the cache is cleared every iteration, so each simulator
+/// construction lowers, encodes and maps a fresh kernel.
+void BM_Compile_Cold(benchmark::State& state) {
+  const Module fabric = make_fabric();
+  for (auto _ : state) {
+    jit::KernelCache::global().clear();
+    Simulator sim(fabric, SimOptions{.backend = SimBackend::kJit});
+    benchmark::DoNotOptimize(sim.active_backend());
+  }
+  jit::KernelCache::global().clear();
+}
+
+/// Warm hit: after the first construction every iteration only pays the
+/// digest + cache lookup, never the compile.
+void BM_Construct_WarmHit(benchmark::State& state) {
+  const Module fabric = make_fabric();
+  Simulator prime(fabric, SimOptions{.backend = SimBackend::kJit});
+  jit::KernelCache::global().reset_stats();
+  for (auto _ : state) {
+    Simulator sim(fabric, SimOptions{.backend = SimBackend::kJit});
+    benchmark::DoNotOptimize(sim.active_backend());
+  }
+  const auto stats = jit::KernelCache::global().stats();
+  state.counters["cache_hits"] = static_cast<double>(stats.hits);
+  state.counters["cache_compiles"] = static_cast<double>(stats.compiles);
+}
+
+BENCHMARK(BM_DenseToggle_Interp);
+BENCHMARK(BM_DenseToggle_Jit);
+BENCHMARK(BM_SparseToggle_Interp);
+BENCHMARK(BM_SparseToggle_Jit);
+BENCHMARK(BM_Compile_Cold);
+BENCHMARK(BM_Construct_WarmHit);
+
+/// CI smoke gate: dense toggle, both engines, identical stimulus. Exit 0 on
+/// matching checksums and >= 3x JIT speedup (or when the host cannot JIT);
+/// nonzero otherwise so the CI job fails loudly.
+int run_smoke() {
+  constexpr int kWarmupCycles = 2000;
+  constexpr int kMeasuredCycles = 30000;
+  const Module fabric = make_fabric();
+  const std::vector<WireId> inputs = input_wires(fabric);
+
+  SimBackend active = SimBackend::kEvent;
+  const auto run = [&](SimBackend backend, std::uint64_t* checksum) {
+    Simulator sim(fabric, SimOptions{.backend = backend});
+    active = sim.active_backend();
+    Rng rng(7);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < kWarmupCycles; ++i) {
+      for (const WireId wire : inputs) sim.set_input(wire, rng.next_u64());
+      sim.step();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kMeasuredCycles; ++i) {
+      for (const WireId wire : inputs) sim.set_input(wire, rng.next_u64());
+      sim.step();
+      sum ^= sim.get_output("sig") + i;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    *checksum = sum ^ sim.get_output("count");
+    return std::chrono::duration<double>(stop - start).count();
+  };
+
+  if (!hw::jit::jit_available()) {
+    std::printf("bench_jit --smoke: JIT unavailable on this host, gate "
+                "skipped\n");
+    return 0;
+  }
+  std::uint64_t interp_sum = 0;
+  std::uint64_t jit_sum = 0;
+  const double interp_s = run(SimBackend::kEvent, &interp_sum);
+  const double jit_s = run(SimBackend::kJit, &jit_sum);
+  if (active != SimBackend::kJit) {
+    std::fprintf(stderr, "bench_jit --smoke: JIT backend did not engage\n");
+    return 1;
+  }
+  if (interp_sum != jit_sum) {
+    std::fprintf(stderr,
+                 "bench_jit --smoke: checksum mismatch interp=%llx jit=%llx\n",
+                 static_cast<unsigned long long>(interp_sum),
+                 static_cast<unsigned long long>(jit_sum));
+    return 1;
+  }
+  const double speedup = interp_s / jit_s;
+  std::printf("bench_jit --smoke: interp %.3fs jit %.3fs speedup %.2fx "
+              "(gate: >= 3x), checksums match\n",
+              interp_s, jit_s, speedup);
+  return speedup >= 3.0 ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -65,9 +65,9 @@ Module make_fabric() {
   return m;
 }
 
-void run_engine_bench(benchmark::State& state, bool event_driven, bool dense) {
+void run_engine_bench(benchmark::State& state, SimBackend backend, bool dense) {
   const Module fabric = make_fabric();
-  Simulator sim(fabric, SimOptions{.event_driven = event_driven});
+  Simulator sim(fabric, SimOptions{.backend = backend});
   if (!sim.status().ok()) {
     state.SkipWithError("simulator construction failed");
     return;
@@ -89,22 +89,22 @@ void run_engine_bench(benchmark::State& state, bool event_driven, bool dense) {
     benchmark::DoNotOptimize(checksum);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
-  state.SetLabel(std::string(event_driven ? "event" : "sweep") +
+  state.SetLabel(std::string(to_string(sim.active_backend())) +
                  (dense ? " dense" : " sparse"));
   state.counters["cells"] = static_cast<double>(fabric.cells().size());
 }
 
 void BM_SparseToggle_Event(benchmark::State& state) {
-  run_engine_bench(state, /*event_driven=*/true, /*dense=*/false);
+  run_engine_bench(state, SimBackend::kEvent, /*dense=*/false);
 }
 void BM_SparseToggle_Sweep(benchmark::State& state) {
-  run_engine_bench(state, /*event_driven=*/false, /*dense=*/false);
+  run_engine_bench(state, SimBackend::kSweep, /*dense=*/false);
 }
 void BM_DenseToggle_Event(benchmark::State& state) {
-  run_engine_bench(state, /*event_driven=*/true, /*dense=*/true);
+  run_engine_bench(state, SimBackend::kEvent, /*dense=*/true);
 }
 void BM_DenseToggle_Sweep(benchmark::State& state) {
-  run_engine_bench(state, /*event_driven=*/false, /*dense=*/true);
+  run_engine_bench(state, SimBackend::kSweep, /*dense=*/true);
 }
 BENCHMARK(BM_SparseToggle_Event);
 BENCHMARK(BM_SparseToggle_Sweep);

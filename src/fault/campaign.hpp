@@ -76,6 +76,16 @@ NetlistSeuResult run_netlist_seu_campaign(const hw::Module& module,
                                           const NetlistSeuPlan& plan,
                                           ThreadPool* pool = nullptr);
 
+/// JIT-backed variant of run_netlist_seu_campaign: every replica pair runs on
+/// hw::SimBackend::kJit simulators. Because all replicas share one module
+/// digest, the process-wide jit::KernelCache compiles once and every replica
+/// reuses the kernel. Results are bit-identical to the serial runner for any
+/// worker count — and on hosts without JIT support the backend degrades to
+/// the interpreter, so this is always safe to call.
+NetlistSeuResult run_netlist_seu_campaign_jit(const hw::Module& module,
+                                              const NetlistSeuPlan& plan,
+                                              ThreadPool* pool = nullptr);
+
 /// Bit-sliced variant of run_netlist_seu_campaign: replicas are grouped into
 /// batches of 63 (seu.hpp batch math), each batch runs on one
 /// hw::SlicedSimulator with lane 0 as the shared golden replica and one fault

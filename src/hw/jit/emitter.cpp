@@ -1,0 +1,626 @@
+#include "hw/jit/emitter.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bits.hpp"
+
+namespace hermes::hw::jit {
+
+namespace {
+
+// Register numbers (x86-64).
+constexpr int kRax = 0;
+constexpr int kRcx = 1;
+constexpr int kRdx = 2;
+constexpr int kRdi = 7;  // values base pointer (function argument)
+constexpr int kR11 = 11; // accumulator save
+constexpr int kR12 = 12; // pinned slot 0 (slots are R12 + slot)
+
+// Condition codes for setcc / cmovcc / jcc.
+constexpr std::uint8_t kCcB = 0x2;   // below (unsigned <)
+constexpr std::uint8_t kCcAe = 0x3;  // above-or-equal (unsigned >=)
+constexpr std::uint8_t kCcE = 0x4;   // equal / zero
+constexpr std::uint8_t kCcNe = 0x5;  // not equal / not zero
+constexpr std::uint8_t kCcBe = 0x6;  // below-or-equal (unsigned <=)
+constexpr std::uint8_t kCcA = 0x7;   // above (unsigned >)
+constexpr std::uint8_t kCcL = 0xC;   // less (signed <)
+constexpr std::uint8_t kCcLe = 0xE;  // less-or-equal (signed <=)
+
+// ALU opcodes, "reg, r/m" direction, with the /digit for the imm32 form.
+struct AluOp { std::uint8_t opcode; std::uint8_t digit; };
+constexpr AluOp kAdd{0x03, 0};
+constexpr AluOp kOr{0x0B, 1};
+constexpr AluOp kAnd{0x23, 4};
+constexpr AluOp kSub{0x2B, 5};
+constexpr AluOp kXor{0x33, 6};
+constexpr AluOp kCmp{0x3B, 7};
+
+// Shift /digit values for the D3 (cl) and C1 (imm8) groups.
+constexpr std::uint8_t kShlDigit = 4;
+constexpr std::uint8_t kShrDigit = 5;
+constexpr std::uint8_t kSarDigit = 7;
+
+bool fits_int32(std::uint64_t value) {
+  const auto wide = static_cast<std::int64_t>(value);
+  return wide == static_cast<std::int64_t>(static_cast<std::int32_t>(wide));
+}
+
+/// Byte-level assembler over a growing code vector. All 64-bit forms; the
+/// only 32-bit operations are the deliberate zero-extension idioms.
+class Asm {
+ public:
+  explicit Asm(std::vector<std::uint8_t>& code) : code_(code) {}
+
+  void u8(std::uint8_t byte) { code_.push_back(byte); }
+  void u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  void u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+
+  void rex(bool w, int reg, int rm) {
+    u8(static_cast<std::uint8_t>(0x40 | (w ? 8 : 0) | ((reg >= 8) ? 4 : 0) |
+                                 ((rm >= 8) ? 1 : 0)));
+  }
+  void modrm(int mod, int reg, int rm) {
+    u8(static_cast<std::uint8_t>((mod << 6) | ((reg & 7) << 3) | (rm & 7)));
+  }
+
+  /// ModRM memory operand [rdi + disp] (RDI never needs a SIB byte).
+  void mem_rdi(int reg, std::int32_t disp) {
+    if (disp == 0) {
+      modrm(0, reg, kRdi);
+    } else if (disp >= -128 && disp <= 127) {
+      modrm(1, reg, kRdi);
+      u8(static_cast<std::uint8_t>(disp));
+    } else {
+      modrm(2, reg, kRdi);
+      u32(static_cast<std::uint32_t>(disp));
+    }
+  }
+
+  void mov_load(int reg, std::int32_t disp) {  // mov reg, [rdi+disp]
+    rex(true, reg, kRdi);
+    u8(0x8B);
+    mem_rdi(reg, disp);
+  }
+  void mov_store(int reg, std::int32_t disp) {  // mov [rdi+disp], reg
+    rex(true, reg, kRdi);
+    u8(0x89);
+    mem_rdi(reg, disp);
+  }
+  void movsxd_load(int reg, std::int32_t disp) {  // movsxd reg, dword[rdi+disp]
+    rex(true, reg, kRdi);
+    u8(0x63);
+    mem_rdi(reg, disp);
+  }
+  void mov_reg(int dst, int src) {
+    rex(true, dst, src);
+    u8(0x8B);
+    modrm(3, dst, src);
+  }
+  void mov_imm(int reg, std::uint64_t value) {
+    if (value <= 0xFFFFFFFFULL) {
+      if (reg >= 8) u8(0x41);
+      u8(static_cast<std::uint8_t>(0xB8 | (reg & 7)));  // zero-extends
+      u32(static_cast<std::uint32_t>(value));
+    } else if (fits_int32(value)) {
+      rex(true, 0, reg);
+      u8(0xC7);
+      modrm(3, 0, reg);
+      u32(static_cast<std::uint32_t>(value));
+    } else {
+      rex(true, 0, reg);
+      u8(static_cast<std::uint8_t>(0xB8 | (reg & 7)));
+      u64(value);
+    }
+  }
+
+  void alu_mem(AluOp op, int reg, std::int32_t disp) {  // op reg, [rdi+disp]
+    rex(true, reg, kRdi);
+    u8(op.opcode);
+    mem_rdi(reg, disp);
+  }
+  void alu_reg(AluOp op, int dst, int src) {
+    rex(true, dst, src);
+    u8(op.opcode);
+    modrm(3, dst, src);
+  }
+  void alu_imm(AluOp op, int reg, std::int32_t imm) {
+    rex(true, 0, reg);
+    u8(0x81);
+    modrm(3, op.digit, reg);
+    u32(static_cast<std::uint32_t>(imm));
+  }
+
+  void imul_mem(int reg, std::int32_t disp) {  // imul reg, [rdi+disp]
+    rex(true, reg, kRdi);
+    u8(0x0F);
+    u8(0xAF);
+    mem_rdi(reg, disp);
+  }
+  void imul_reg(int dst, int src) {
+    rex(true, dst, src);
+    u8(0x0F);
+    u8(0xAF);
+    modrm(3, dst, src);
+  }
+  void imul_imm(int dst, int src, std::int32_t imm) {  // imul dst, src, imm32
+    rex(true, dst, src);
+    u8(0x69);
+    modrm(3, dst, src);
+    u32(static_cast<std::uint32_t>(imm));
+  }
+
+  void unary(std::uint8_t digit, int reg) {  // F7 group: not (/2), neg (/3)
+    rex(true, 0, reg);
+    u8(0xF7);
+    modrm(3, digit, reg);
+  }
+  void shift_cl(std::uint8_t digit, int reg) {
+    rex(true, 0, reg);
+    u8(0xD3);
+    modrm(3, digit, reg);
+  }
+  void shift_imm(std::uint8_t digit, int reg, unsigned count) {
+    rex(true, 0, reg);
+    u8(0xC1);
+    modrm(3, digit, reg);
+    u8(static_cast<std::uint8_t>(count));
+  }
+
+  void test_reg(int a, int b) {  // test r/m(a), r(b)
+    rex(true, b, a);
+    u8(0x85);
+    modrm(3, b, a);
+  }
+  void setcc_al(std::uint8_t cc) {
+    u8(0x0F);
+    u8(static_cast<std::uint8_t>(0x90 | cc));
+    modrm(3, 0, kRax);
+  }
+  void movzx_eax_al() {
+    u8(0x0F);
+    u8(0xB6);
+    modrm(3, kRax, kRax);
+  }
+  void cmovcc(std::uint8_t cc, int dst, int src) {
+    rex(true, dst, src);
+    u8(0x0F);
+    u8(static_cast<std::uint8_t>(0x40 | cc));
+    modrm(3, dst, src);
+  }
+
+  void cqo() { u8(0x48); u8(0x99); }
+  void zero_edx() { u8(0x31); u8(0xD2); }  // xor edx, edx
+  void zero_eax() { u8(0x31); u8(0xC0); }  // xor eax, eax
+  void mov_eax_eax() { u8(0x89); u8(0xC0); }  // zero-extend low 32 bits
+  void div_rcx() { u8(0x48); u8(0xF7); u8(0xF1); }
+  void idiv_rcx() { u8(0x48); u8(0xF7); u8(0xF9); }
+
+  /// Short forward branch; returns the rel8 patch position.
+  std::size_t jcc8(std::uint8_t cc) {
+    u8(static_cast<std::uint8_t>(0x70 | cc));
+    u8(0);
+    return code_.size() - 1;
+  }
+  std::size_t jmp8() {
+    u8(0xEB);
+    u8(0);
+    return code_.size() - 1;
+  }
+  [[nodiscard]] bool patch(std::size_t pos) {
+    const std::ptrdiff_t rel = static_cast<std::ptrdiff_t>(code_.size()) -
+                               static_cast<std::ptrdiff_t>(pos) - 1;
+    if (rel < -128 || rel > 127) return false;
+    code_[pos] = static_cast<std::uint8_t>(rel);
+    return true;
+  }
+
+  void push(int reg) {
+    if (reg >= 8) u8(0x41);
+    u8(static_cast<std::uint8_t>(0x50 | (reg & 7)));
+  }
+  void pop(int reg) {
+    if (reg >= 8) u8(0x41);
+    u8(static_cast<std::uint8_t>(0x58 | (reg & 7)));
+  }
+  void ret() { u8(0xC3); }
+
+ private:
+  std::vector<std::uint8_t>& code_;
+};
+
+/// Emits one MirBlock. Stateful wrapper so helpers can share the Asm.
+class BlockEmitter {
+ public:
+  explicit BlockEmitter(const MirBlock& block, std::vector<std::uint8_t>& code)
+      : block_(block), a_(code) {}
+
+  [[nodiscard]] bool emit() {
+    for (std::size_t i = 0; i < block_.pinned_count; ++i) {
+      a_.push(kR12 + static_cast<int>(i));
+    }
+    for (std::size_t i = 0; i < block_.pinned_count; ++i) {
+      std::int32_t disp = 0;
+      if (!wire_disp(block_.pinned[i], &disp)) return false;
+      a_.mov_load(kR12 + static_cast<int>(i), disp);
+    }
+    for (const MirInst& inst : block_.insts) {
+      if (!emit_inst(inst)) return false;
+    }
+    for (std::size_t i = block_.pinned_count; i > 0; --i) {
+      a_.pop(kR12 + static_cast<int>(i - 1));
+    }
+    a_.ret();
+    return true;
+  }
+
+ private:
+  static bool wire_disp(WireId wire, std::int32_t* disp) {
+    const std::uint64_t offset = static_cast<std::uint64_t>(wire) * 8;
+    if (offset > static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max())) {
+      return false;
+    }
+    *disp = static_cast<std::int32_t>(offset);
+    return true;
+  }
+
+  /// Sign-extends the low `width` bits of `reg` in place.
+  void sext_reg(int reg, unsigned width) {
+    if (width >= 64) return;
+    a_.shift_imm(kShlDigit, reg, 64 - width);
+    a_.shift_imm(kSarDigit, reg, 64 - width);
+  }
+
+  [[nodiscard]] bool load_operand(const MirOperand& op, int target, bool sign) {
+    switch (op.kind) {
+      case MirOperandKind::kImm: {
+        std::uint64_t value = op.imm;
+        if (sign) {
+          value = static_cast<std::uint64_t>(sign_extend(value, op.width));
+        }
+        a_.mov_imm(target, value);
+        return true;
+      }
+      case MirOperandKind::kAcc:
+        a_.mov_reg(target, kR11);
+        if (sign) sext_reg(target, op.width);
+        return true;
+      case MirOperandKind::kReg:
+        a_.mov_reg(target, kR12 + op.reg_slot);
+        if (sign) sext_reg(target, op.width);
+        return true;
+      case MirOperandKind::kWire: {
+        std::int32_t disp = 0;
+        if (!wire_disp(op.wire, &disp)) return false;
+        if (sign && op.width == 32) {
+          a_.movsxd_load(target, disp);
+        } else {
+          a_.mov_load(target, disp);
+          if (sign) sext_reg(target, op.width);
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// rax = rax OP src2, using the direct memory / immediate forms when the
+  /// operand allows it.
+  [[nodiscard]] bool alu_src2(AluOp op, const MirOperand& src2) {
+    switch (src2.kind) {
+      case MirOperandKind::kWire: {
+        std::int32_t disp = 0;
+        if (!wire_disp(src2.wire, &disp)) return false;
+        a_.alu_mem(op, kRax, disp);
+        return true;
+      }
+      case MirOperandKind::kImm:
+        if (fits_int32(src2.imm)) {
+          a_.alu_imm(op, kRax, static_cast<std::int32_t>(src2.imm));
+        } else {
+          a_.mov_imm(kRcx, src2.imm);
+          a_.alu_reg(op, kRax, kRcx);
+        }
+        return true;
+      case MirOperandKind::kAcc:
+        a_.alu_reg(op, kRax, kR11);
+        return true;
+      case MirOperandKind::kReg:
+        a_.alu_reg(op, kRax, kR12 + src2.reg_slot);
+        return true;
+    }
+    return false;
+  }
+
+  void mask_rax(unsigned width) {
+    if (width >= 64) return;
+    if (width == 32) {
+      a_.mov_eax_eax();
+    } else if (width < 32) {
+      a_.alu_imm(kAnd, kRax, static_cast<std::int32_t>(bit_mask(width)));
+    } else {
+      a_.shift_imm(kShlDigit, kRax, 64 - width);
+      a_.shift_imm(kShrDigit, kRax, 64 - width);
+    }
+  }
+
+  [[nodiscard]] bool emit_compare(const MirInst& inst, std::uint8_t cc,
+                                  bool sign) {
+    if (!load_operand(inst.in[0], kRax, sign)) return false;
+    if (!load_operand(inst.in[1], kRcx, sign)) return false;
+    a_.alu_reg(kCmp, kRax, kRcx);
+    a_.setcc_al(cc);
+    a_.movzx_eax_al();
+    return true;
+  }
+
+  /// shl/shr with netlist semantics: a shift count >= 64 yields 0 (x86 would
+  /// silently use count mod 64).
+  [[nodiscard]] bool emit_shift_u(const MirInst& inst, std::uint8_t digit) {
+    if (!load_operand(inst.in[0], kRax, false)) return false;
+    const MirOperand& count = inst.in[1];
+    if (count.kind == MirOperandKind::kImm) {
+      if (count.imm >= 64) {
+        a_.zero_eax();
+      } else if (count.imm > 0) {
+        a_.shift_imm(digit, kRax, static_cast<unsigned>(count.imm));
+      }
+      return true;
+    }
+    if (!load_operand(count, kRcx, false)) return false;
+    a_.shift_cl(digit, kRax);
+    if (count.width >= 7) {  // count can reach 64 only with a >= 7-bit wire
+      a_.zero_edx();
+      a_.alu_imm(kCmp, kRcx, 64);
+      a_.cmovcc(kCcAe, kRax, kRdx);
+    }
+    return true;
+  }
+
+  /// Arithmetic right shift: count saturates at 63 (the sign fills the word).
+  [[nodiscard]] bool emit_shift_s(const MirInst& inst) {
+    if (!load_operand(inst.in[0], kRax, true)) return false;
+    const MirOperand& count = inst.in[1];
+    if (count.kind == MirOperandKind::kImm) {
+      const unsigned c =
+          count.imm >= 63 ? 63u : static_cast<unsigned>(count.imm);
+      if (c > 0) a_.shift_imm(kSarDigit, kRax, c);
+      return true;
+    }
+    if (!load_operand(count, kRcx, false)) return false;
+    if (count.width >= 7) {  // clamp only when the count wire can exceed 63
+      a_.mov_imm(kRdx, 63);
+      a_.alu_reg(kCmp, kRcx, kRdx);
+      a_.cmovcc(kCcA, kRcx, kRdx);
+    }
+    a_.shift_cl(kSarDigit, kRax);
+    return true;
+  }
+
+  /// div/rem with the netlist's total semantics: divide-by-zero produces
+  /// all-ones (div) / the dividend (rem); signed divide by -1 negates (rem 0),
+  /// which also sidesteps the INT64_MIN / -1 #DE fault of idiv.
+  [[nodiscard]] bool emit_divrem(const MirInst& inst) {
+    const bool sign =
+        inst.kind == CellKind::kDivS || inst.kind == CellKind::kRemS;
+    const bool rem =
+        inst.kind == CellKind::kRemU || inst.kind == CellKind::kRemS;
+    if (!load_operand(inst.in[0], kRax, sign)) return false;
+    if (!load_operand(inst.in[1], kRcx, sign)) return false;
+    a_.test_reg(kRcx, kRcx);
+    if (!sign) {
+      if (rem) {  // rem by 0 = dividend, already in rax
+        const std::size_t skip = a_.jcc8(kCcE);
+        a_.zero_edx();
+        a_.div_rcx();
+        a_.mov_reg(kRax, kRdx);
+        return a_.patch(skip);
+      }
+      const std::size_t zero = a_.jcc8(kCcE);
+      a_.zero_edx();
+      a_.div_rcx();
+      const std::size_t done = a_.jmp8();
+      if (!a_.patch(zero)) return false;
+      a_.mov_imm(kRax, ~0ULL);
+      return a_.patch(done);
+    }
+    const std::size_t zero = a_.jcc8(kCcE);
+    a_.alu_imm(kCmp, kRcx, -1);
+    const std::size_t minus_one = a_.jcc8(kCcE);
+    a_.cqo();
+    a_.idiv_rcx();
+    if (rem) a_.mov_reg(kRax, kRdx);
+    const std::size_t done1 = a_.jmp8();
+    if (!a_.patch(minus_one)) return false;
+    if (rem) {
+      a_.zero_eax();
+    } else {
+      a_.unary(3, kRax);  // neg: a / -1 = -a (mod 2^64)
+    }
+    if (rem) {
+      // rem by 0 = sign-extended dividend (masked below), rem by -1 = 0.
+      const std::size_t done2 = a_.jmp8();
+      if (!a_.patch(zero)) return false;
+      return a_.patch(done1) && a_.patch(done2);
+    }
+    const std::size_t done2 = a_.jmp8();
+    if (!a_.patch(zero)) return false;
+    a_.mov_imm(kRax, ~0ULL);
+    return a_.patch(done1) && a_.patch(done2);
+  }
+
+  [[nodiscard]] bool emit_concat(const MirInst& inst) {
+    if (inst.concat_count == 0) {
+      a_.zero_eax();
+      return true;
+    }
+    const MirOperand* operands = block_.concat_pool.data() + inst.concat_first;
+    if (!load_operand(operands[0], kRax, false)) return false;
+    unsigned shift = operands[0].width;
+    for (std::uint32_t i = 1; i < inst.concat_count; ++i) {
+      if (shift >= 64) break;  // further operands fall off the word
+      if (!load_operand(operands[i], kRcx, false)) return false;
+      if (shift > 0) a_.shift_imm(kShlDigit, kRcx, shift);
+      a_.alu_reg(kOr, kRax, kRcx);
+      shift += operands[i].width;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool emit_inst(const MirInst& inst) {
+    bool uses_acc = false;
+    if (inst.kind == CellKind::kConcat) {
+      for (std::uint32_t i = 0; i < inst.concat_count; ++i) {
+        uses_acc |= block_.concat_pool[inst.concat_first + i].kind ==
+                    MirOperandKind::kAcc;
+      }
+    } else {
+      for (std::uint8_t i = 0; i < inst.input_count; ++i) {
+        uses_acc |= inst.in[i].kind == MirOperandKind::kAcc;
+      }
+    }
+    if (uses_acc) a_.mov_reg(kR11, kRax);
+
+    switch (inst.kind) {
+      case CellKind::kConst:
+        a_.mov_imm(kRax, inst.param & inst.out_mask);
+        break;
+      case CellKind::kAdd:
+        if (!load_operand(inst.in[0], kRax, false)) return false;
+        if (!alu_src2(kAdd, inst.in[1])) return false;
+        break;
+      case CellKind::kSub:
+        if (!load_operand(inst.in[0], kRax, false)) return false;
+        if (!alu_src2(kSub, inst.in[1])) return false;
+        break;
+      case CellKind::kAnd:
+        if (!load_operand(inst.in[0], kRax, false)) return false;
+        if (!alu_src2(kAnd, inst.in[1])) return false;
+        break;
+      case CellKind::kOr:
+        if (!load_operand(inst.in[0], kRax, false)) return false;
+        if (!alu_src2(kOr, inst.in[1])) return false;
+        break;
+      case CellKind::kXor:
+        if (!load_operand(inst.in[0], kRax, false)) return false;
+        if (!alu_src2(kXor, inst.in[1])) return false;
+        break;
+      case CellKind::kMul: {
+        if (!load_operand(inst.in[0], kRax, false)) return false;
+        const MirOperand& b = inst.in[1];
+        switch (b.kind) {
+          case MirOperandKind::kWire: {
+            std::int32_t disp = 0;
+            if (!wire_disp(b.wire, &disp)) return false;
+            a_.imul_mem(kRax, disp);
+            break;
+          }
+          case MirOperandKind::kImm:
+            if (fits_int32(b.imm)) {
+              a_.imul_imm(kRax, kRax, static_cast<std::int32_t>(b.imm));
+            } else {
+              a_.mov_imm(kRcx, b.imm);
+              a_.imul_reg(kRax, kRcx);
+            }
+            break;
+          case MirOperandKind::kAcc:
+            a_.imul_reg(kRax, kR11);
+            break;
+          case MirOperandKind::kReg:
+            a_.imul_reg(kRax, kR12 + b.reg_slot);
+            break;
+        }
+        break;
+      }
+      case CellKind::kDivU:
+      case CellKind::kDivS:
+      case CellKind::kRemU:
+      case CellKind::kRemS:
+        if (!emit_divrem(inst)) return false;
+        break;
+      case CellKind::kNot:
+        if (!load_operand(inst.in[0], kRax, false)) return false;
+        a_.unary(2, kRax);  // not
+        break;
+      case CellKind::kShl:
+        if (!emit_shift_u(inst, kShlDigit)) return false;
+        break;
+      case CellKind::kShrU:
+        if (!emit_shift_u(inst, kShrDigit)) return false;
+        break;
+      case CellKind::kShrS:
+        if (!emit_shift_s(inst)) return false;
+        break;
+      case CellKind::kEq:
+        if (!emit_compare(inst, kCcE, false)) return false;
+        break;
+      case CellKind::kNe:
+        if (!emit_compare(inst, kCcNe, false)) return false;
+        break;
+      case CellKind::kLtU:
+        if (!emit_compare(inst, kCcB, false)) return false;
+        break;
+      case CellKind::kLtS:
+        if (!emit_compare(inst, kCcL, true)) return false;
+        break;
+      case CellKind::kLeU:
+        if (!emit_compare(inst, kCcBe, false)) return false;
+        break;
+      case CellKind::kLeS:
+        if (!emit_compare(inst, kCcLe, true)) return false;
+        break;
+      case CellKind::kMux:
+        if (!load_operand(inst.in[0], kRcx, false)) return false;
+        if (!load_operand(inst.in[1], kRax, false)) return false;
+        if (!load_operand(inst.in[2], kRdx, false)) return false;
+        a_.test_reg(kRcx, kRcx);
+        a_.cmovcc(kCcNe, kRax, kRdx);
+        break;
+      case CellKind::kZext:
+        if (!load_operand(inst.in[0], kRax, false)) return false;
+        break;
+      case CellKind::kSext:
+        if (!load_operand(inst.in[0], kRax, true)) return false;
+        break;
+      case CellKind::kSlice:
+        if (!load_operand(inst.in[0], kRax, false)) return false;
+        if (inst.param >= 64) {
+          a_.zero_eax();
+        } else if (inst.param > 0) {
+          a_.shift_imm(kShrDigit, kRax, static_cast<unsigned>(inst.param));
+        }
+        break;
+      case CellKind::kConcat:
+        if (!emit_concat(inst)) return false;
+        break;
+      case CellKind::kRegister:
+      case CellKind::kRamRead:
+      case CellKind::kRamWrite:
+        return false;  // sequential cells never reach the comb table
+    }
+
+    if (inst.mask_result) mask_rax(inst.out_width);
+
+    std::int32_t out_disp = 0;
+    if (!wire_disp(inst.out, &out_disp)) return false;
+    a_.mov_store(kRax, out_disp);
+    if (inst.out_reg_slot >= 0) a_.mov_reg(kR12 + inst.out_reg_slot, kRax);
+    return true;
+  }
+
+  const MirBlock& block_;
+  Asm a_;
+};
+
+}  // namespace
+
+bool emit_block(const MirBlock& block, std::vector<std::uint8_t>& code) {
+  BlockEmitter emitter(block, code);
+  return emitter.emit();
+}
+
+}  // namespace hermes::hw::jit

@@ -1,0 +1,29 @@
+// x86-64 code emitter for the netlist JIT.
+//
+// Translates one MirBlock into a System V function `void fn(uint64_t* values)`
+// (values base in RDI) of straight-line code — the only branches are the
+// short forward guards around div/idiv (zero / minus-one divisors would
+// fault or diverge from netlist semantics) and shift-count clamps.
+//
+// Register plan:
+//   RDI        values base pointer (never clobbered)
+//   RAX        accumulator; every instruction ends with its masked result here
+//   RCX, RDX   scratch (shift counts, divisors, mux arms, remainders)
+//   R11        saves the accumulator when the current instruction reads it
+//   R12-R14    pinned hot wires (callee-saved; pushed/popped in the frame)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/jit/mir.hpp"
+
+namespace hermes::hw::jit {
+
+/// Appends the machine code of `block` to `code`. Returns false if the block
+/// cannot be encoded (e.g. a wire offset beyond disp32 range) — the caller
+/// then falls back to the interpreter.
+[[nodiscard]] bool emit_block(const MirBlock& block,
+                              std::vector<std::uint8_t>& code);
+
+}  // namespace hermes::hw::jit

@@ -1,0 +1,133 @@
+#include "hw/jit/exec_memory.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define HERMES_JIT_HAVE_MMAP 1
+#else
+#define HERMES_JIT_HAVE_MMAP 0
+#endif
+
+namespace hermes::hw::jit {
+
+namespace {
+
+#if HERMES_JIT_HAVE_MMAP
+
+std::size_t page_size() {
+  static const std::size_t size = [] {
+    const long value = ::sysconf(_SC_PAGESIZE);
+    return value > 0 ? static_cast<std::size_t>(value) : 4096u;
+  }();
+  return size;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t page = page_size();
+  return ((bytes + page - 1) / page) * page;
+}
+
+/// One-shot probe: map a page, write `ret`, flip RW->RX, call it. Exercises
+/// the exact permission transition the kernel compiler needs; fails under
+/// selinux/pax-style policies that veto W->X flips.
+bool probe_wx_flip() {
+#if !defined(__x86_64__)
+  return false;
+#else
+  const std::size_t page = page_size();
+  void* mem = ::mmap(nullptr, page, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return false;
+  static_cast<std::uint8_t*>(mem)[0] = 0xC3;  // ret
+  if (::mprotect(mem, page, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(mem, page);
+    return false;
+  }
+  reinterpret_cast<void (*)()>(mem)();
+  ::munmap(mem, page);
+  return true;
+#endif
+}
+
+#endif  // HERMES_JIT_HAVE_MMAP
+
+}  // namespace
+
+bool jit_available() {
+  // Env override first, re-read every call: tests flip HERMES_DISABLE_JIT in
+  // process to exercise the silent-fallback path.
+  const char* disabled = std::getenv("HERMES_DISABLE_JIT");
+  if (disabled != nullptr && disabled[0] != '\0' && disabled[0] != '0') {
+    return false;
+  }
+#if HERMES_JIT_HAVE_MMAP
+  static const bool probed = probe_wx_flip();
+  return probed;
+#else
+  return false;
+#endif
+}
+
+ExecMemory::~ExecMemory() { release(); }
+
+ExecMemory::ExecMemory(ExecMemory&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      executable_(std::exchange(other.executable_, false)) {}
+
+ExecMemory& ExecMemory::operator=(ExecMemory&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    executable_ = std::exchange(other.executable_, false);
+  }
+  return *this;
+}
+
+bool ExecMemory::allocate(std::size_t bytes) {
+#if HERMES_JIT_HAVE_MMAP
+  release();
+  if (bytes == 0) return false;
+  const std::size_t size = round_up_pages(bytes);
+  void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return false;
+  base_ = mem;
+  size_ = size;
+  executable_ = false;
+  return true;
+#else
+  (void)bytes;
+  return false;
+#endif
+}
+
+bool ExecMemory::finalize() {
+#if HERMES_JIT_HAVE_MMAP
+  if (base_ == nullptr || executable_) return false;
+  if (::mprotect(base_, size_, PROT_READ | PROT_EXEC) != 0) {
+    release();
+    return false;
+  }
+  executable_ = true;
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ExecMemory::release() {
+#if HERMES_JIT_HAVE_MMAP
+  if (base_ != nullptr) ::munmap(base_, size_);
+#endif
+  base_ = nullptr;
+  size_ = 0;
+  executable_ = false;
+}
+
+}  // namespace hermes::hw::jit

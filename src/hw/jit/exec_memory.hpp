@@ -1,0 +1,63 @@
+// W^X executable code buffer for the netlist JIT.
+//
+// Lifecycle: allocate() maps pages PROT_READ|PROT_WRITE, the emitter fills
+// them through data(), finalize() flips the whole mapping to
+// PROT_READ|PROT_EXEC. The two permissions are never held simultaneously —
+// no RWX page is ever mapped, matching the W^X discipline hardened kernels
+// (and the NG-ULTRA hypervisor MPU policy this repo models) enforce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hermes::hw::jit {
+
+/// True when the host can execute JIT-compiled kernels: x86-64 System V,
+/// mmap + mprotect W->X flips permitted, and HERMES_DISABLE_JIT unset. The
+/// mmap/mprotect probe (map a `ret`, flip it executable, call it) runs once
+/// per process; the environment variable is re-read on every call so forced
+/// fallback is testable without re-execing.
+bool jit_available();
+
+/// One immutable code mapping. Move-only; unmapped on destruction.
+class ExecMemory {
+ public:
+  ExecMemory() = default;
+  ~ExecMemory();
+  ExecMemory(const ExecMemory&) = delete;
+  ExecMemory& operator=(const ExecMemory&) = delete;
+  ExecMemory(ExecMemory&& other) noexcept;
+  ExecMemory& operator=(ExecMemory&& other) noexcept;
+
+  /// Maps `bytes` (rounded up to whole pages) read-write. False on failure
+  /// or unsupported platform.
+  [[nodiscard]] bool allocate(std::size_t bytes);
+
+  /// Writable only between allocate() and finalize().
+  [[nodiscard]] std::uint8_t* data() {
+    return executable_ ? nullptr : static_cast<std::uint8_t*>(base_);
+  }
+
+  /// Flips the mapping read-execute (dropping write). False if the kernel
+  /// denies the transition — the caller must then fall back to the
+  /// interpreter; the mapping is released.
+  [[nodiscard]] bool finalize();
+
+  [[nodiscard]] bool executable() const { return executable_; }
+  [[nodiscard]] std::size_t capacity() const { return size_; }
+
+  /// Entry pointer at a byte offset; only valid once executable.
+  [[nodiscard]] const void* entry(std::size_t offset) const {
+    return executable_ ? static_cast<const std::uint8_t*>(base_) + offset
+                       : nullptr;
+  }
+
+ private:
+  void release();
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool executable_ = false;
+};
+
+}  // namespace hermes::hw::jit

@@ -237,6 +237,41 @@ NetlistStats Module::stats() const {
   return stats;
 }
 
+std::uint64_t Module::digest() const {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xFF;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(wire_widths_.size());
+  for (unsigned width : wire_widths_) mix(width);
+  mix(ports_.size());
+  for (const Port& port : ports_) {
+    mix(port.wire);
+    mix(port.is_input ? 1 : 0);
+  }
+  mix(cells_.size());
+  for (const Cell& cell : cells_) {
+    mix(static_cast<std::uint64_t>(cell.kind));
+    mix(cell.param);
+    mix(cell.inputs.size());
+    for (WireId wire : cell.inputs) mix(wire);
+    mix(cell.outputs.size());
+    for (WireId wire : cell.outputs) mix(wire);
+  }
+  mix(memories_.size());
+  for (const Memory& memory : memories_) {
+    mix(memory.width);
+    mix(memory.depth);
+    mix(memory.dual_port ? 1 : 0);
+    mix(memory.init.size());
+    for (std::uint64_t word : memory.init) mix(word);
+  }
+  return hash;
+}
+
 Status Module::validate() const {
   std::unordered_set<WireId> driven;
   auto check_wire = [&](WireId wire) {

@@ -6,9 +6,20 @@
 
 #include "common/bits.hpp"
 #include "common/strings.hpp"
+#include "hw/jit/cache.hpp"
+#include "hw/jit/kernel.hpp"
 #include "hw/sim_eval.hpp"
 
 namespace hermes::hw {
+
+const char* to_string(SimBackend backend) {
+  switch (backend) {
+    case SimBackend::kEvent: return "event";
+    case SimBackend::kSweep: return "sweep";
+    case SimBackend::kJit: return "jit";
+  }
+  return "?";
+}
 
 Simulator::Simulator(const Module& module, SimOptions options)
     : module_(module), options_(options) {
@@ -18,7 +29,31 @@ Simulator::Simulator(const Module& module, SimOptions options)
   values_.assign(module.wire_count(), 0);
   build_tables();
   if (!status_.ok()) return;
+
+  active_backend_ = options_.backend;
+  if (options_.backend == SimBackend::kJit) {
+    // Content-addressed process-wide cache: identical netlists share one
+    // compiled kernel. A null kernel (non-x86-64, W^X denied,
+    // HERMES_DISABLE_JIT) degrades silently to the interpreter.
+    jit_kernel_ = jit::KernelCache::global().get_or_compile(
+        module_.digest(), op_table_view());
+    if (jit_kernel_ == nullptr) active_backend_ = SimBackend::kEvent;
+  }
   reset();
+}
+
+OpTableView Simulator::op_table_view() const {
+  OpTableView view;
+  view.ops = comb_ops_.data();
+  view.op_count = comb_ops_.size();
+  view.inputs = op_inputs_.data();
+  view.input_widths = op_input_widths_.data();
+  view.level_start = level_start_.data();
+  view.level_count = level_count();
+  view.wire_count = module_.wire_count();
+  view.seq_outputs = seq_output_wires_.data();
+  view.seq_output_count = seq_output_wires_.size();
+  return view;
 }
 
 void Simulator::build_tables() {
@@ -48,11 +83,13 @@ void Simulator::build_tables() {
         case CellKind::kRegister:
           reg_ops_.push_back({cell.inputs[0], cell.inputs[1], cell.outputs[0],
                               module_.wire_width(cell.outputs[0]), cell.param});
+          seq_output_wires_.push_back(cell.outputs[0]);
           break;
         case CellKind::kRamRead:
           ram_read_ops_.push_back({cell.inputs[0], cell.inputs[1],
                                    cell.outputs[0],
                                    static_cast<std::uint32_t>(cell.param)});
+          seq_output_wires_.push_back(cell.outputs[0]);
           break;
         case CellKind::kRamWrite:
           ram_write_ops_.push_back(
@@ -96,7 +133,16 @@ void Simulator::build_tables() {
     return;
   }
 
-  // Flatten into the SoA op table, in topological order.
+  // Group ops of a level contiguously. A cell's inputs come from strictly
+  // lower levels, so a stable sort by level is still a topological order —
+  // and it lets the level CSR double as op index ranges, which both the
+  // dense fast path and the JIT's per-level straight-line code rely on.
+  std::stable_sort(comb_topo.begin(), comb_topo.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cell_level[a] < cell_level[b];
+                   });
+
+  // Flatten into the SoA op table, in level-sorted topological order.
   comb_ops_.reserve(comb_count);
   std::uint32_t max_level = 0;
   for (std::size_t cell_index : comb_topo) {
@@ -119,7 +165,8 @@ void Simulator::build_tables() {
     max_level = std::max(max_level, op.level);
   }
   // CSR scratch arena for the per-level worklists: level l owns exactly as
-  // many slots as it has ops (the worst case a delta can schedule).
+  // many slots as it has ops (the worst case a delta can schedule). With the
+  // level-sorted table the same offsets delimit the level's op indices.
   const std::size_t levels = comb_ops_.empty() ? 0 : max_level + 1;
   std::vector<std::uint32_t> level_counts(levels, 0);
   for (const CombOp& op : comb_ops_) ++level_counts[op.level];
@@ -131,7 +178,7 @@ void Simulator::build_tables() {
   level_arena_.assign(comb_ops_.size(), 0);
   op_scheduled_.assign(comb_ops_.size(), 0);
 
-  comb_driver_.assign(wire_count, kNoOp);
+  comb_driver_.assign(wire_count, kNoCombOp);
   for (std::size_t i = 0; i < comb_ops_.size(); ++i) {
     comb_driver_[comb_ops_[i].out] = static_cast<std::uint32_t>(i);
   }
@@ -164,6 +211,15 @@ void Simulator::build_tables() {
       fanout_ops_[cursor[wire]++] = static_cast<std::uint32_t>(i);
     });
   }
+
+  // Lowest consumer level per wire — the JIT backend's dirty-level tracker.
+  wire_min_level_.assign(wire_count,
+                         static_cast<std::uint32_t>(levels));
+  for (const CombOp& op : comb_ops_) {
+    for_each_unique_input(op, [&](WireId wire) {
+      wire_min_level_[wire] = std::min(wire_min_level_[wire], op.level);
+    });
+  }
 }
 
 void Simulator::reset() {
@@ -180,10 +236,16 @@ void Simulator::reset() {
     }
     mem_state_.push_back(std::move(contents));
   }
-  // Full settle from scratch; both engines start from a fully clean state.
+  // Full settle from scratch; every engine starts from a fully clean state.
   std::fill(level_fill_.begin(), level_fill_.end(), 0);
   std::fill(op_scheduled_.begin(), op_scheduled_.end(), 0);
-  for (const CombOp& op : comb_ops_) values_[op.out] = eval_op(op);
+  if (active_backend_ == SimBackend::kJit) {
+    jit_kernel_->run_all(values_.data());
+  } else {
+    for (const CombOp& op : comb_ops_) values_[op.out] = eval_op(op);
+  }
+  jit_dirty_level_ = static_cast<std::uint32_t>(level_count());
+  jit_dirty_seq_only_ = true;
   comb_dirty_ = false;
 }
 
@@ -194,17 +256,34 @@ void Simulator::schedule_op(std::uint32_t op_index) {
   level_arena_[level_start_[level] + level_fill_[level]++] = op_index;
 }
 
-void Simulator::mark_wire_changed(WireId wire) {
-  comb_dirty_ = true;
-  if (!options_.event_driven) return;
+void Simulator::schedule_fanout(WireId wire) {
   const std::uint32_t begin = fanout_offsets_[wire];
   const std::uint32_t end = fanout_offsets_[wire + 1];
   for (std::uint32_t i = begin; i < end; ++i) schedule_op(fanout_ops_[i]);
 }
 
+void Simulator::mark_wire_changed(WireId wire, bool sequential) {
+  comb_dirty_ = true;
+  switch (active_backend_) {
+    case SimBackend::kSweep:
+      break;
+    case SimBackend::kJit:
+      jit_dirty_level_ = std::min(jit_dirty_level_, wire_min_level_[wire]);
+      if (!sequential) jit_dirty_seq_only_ = false;
+      break;
+    case SimBackend::kEvent:
+      schedule_fanout(wire);
+      break;
+  }
+}
+
 void Simulator::set_input(std::string_view port_name, std::uint64_t value) {
   const WireId wire = module_.port_wire(port_name);
   assert(wire != kNoWire && "unknown input port");
+  set_input(wire, value);
+}
+
+void Simulator::set_input(WireId wire, std::uint64_t value) {
   const std::uint64_t truncated = truncate(value, module_.wire_width(wire));
   if (values_[wire] == truncated) return;
   values_[wire] = truncated;
@@ -230,8 +309,28 @@ void Simulator::eval_comb() {
   if (!comb_dirty_) return;
   comb_dirty_ = false;
 
-  if (!options_.event_driven) {
+  if (active_backend_ == SimBackend::kSweep) {
     for (const CombOp& op : comb_ops_) values_[op.out] = eval_op(op);
+    return;
+  }
+
+  if (active_backend_ == SimBackend::kJit) {
+    // When every change since the last settle came from the clock edge
+    // (register commits / RAM samples), only their transitive fanout can be
+    // stale — run the compiled sequential-cone function. Otherwise fall back
+    // to straight-line code for every level at or above the lowest level a
+    // changed wire feeds. Re-evaluating an op whose inputs are unchanged
+    // recomputes the same value, so both granularities are bit-identical to
+    // the event-driven drain.
+    const bool seq_only = jit_dirty_seq_only_;
+    jit_dirty_seq_only_ = true;
+    const std::uint32_t from = jit_dirty_level_;
+    jit_dirty_level_ = static_cast<std::uint32_t>(level_count());
+    if (seq_only) {
+      jit_kernel_->run_seq(values_.data());
+    } else {
+      jit_kernel_->run_from_level(from, values_.data());
+    }
     return;
   }
 
@@ -242,16 +341,30 @@ void Simulator::eval_comb() {
   // (impossible by construction, but cheap) safe.
   for (std::size_t level = 0; level < level_fill_.size(); ++level) {
     const std::uint32_t base = level_start_[level];
-    for (std::uint32_t i = 0; i < level_fill_[level]; ++i) {
-      const std::uint32_t index = level_arena_[base + i];
-      op_scheduled_[index] = 0;
-      const CombOp& op = comb_ops_[index];
-      const std::uint64_t value = eval_op(op);
-      if (value == values_[op.out]) continue;
-      values_[op.out] = value;
-      const std::uint32_t begin = fanout_offsets_[op.out];
-      const std::uint32_t end = fanout_offsets_[op.out + 1];
-      for (std::uint32_t f = begin; f < end; ++f) schedule_op(fanout_ops_[f]);
+    const std::uint32_t count = level_start_[level + 1] - base;
+    if (level_fill_[level] == count) {
+      // Dense fast path: every op in the level is scheduled, so the arena
+      // holds a permutation of the level's own (contiguous) index range.
+      // Sweep the range directly — sequential op-table traversal, wholesale
+      // flag reset, no per-slot worklist bookkeeping.
+      std::fill_n(op_scheduled_.begin() + base, count, std::uint8_t{0});
+      for (std::uint32_t index = base; index < base + count; ++index) {
+        const CombOp& op = comb_ops_[index];
+        const std::uint64_t value = eval_op(op);
+        if (value == values_[op.out]) continue;
+        values_[op.out] = value;
+        schedule_fanout(op.out);
+      }
+    } else {
+      for (std::uint32_t i = 0; i < level_fill_[level]; ++i) {
+        const std::uint32_t index = level_arena_[base + i];
+        op_scheduled_[index] = 0;
+        const CombOp& op = comb_ops_[index];
+        const std::uint64_t value = eval_op(op);
+        if (value == values_[op.out]) continue;
+        values_[op.out] = value;
+        schedule_fanout(op.out);
+      }
     }
     level_fill_[level] = 0;
   }
@@ -261,7 +374,7 @@ void Simulator::commit_wire(WireId wire, unsigned width, std::uint64_t value) {
   const std::uint64_t truncated = truncate(value, width);
   if (values_[wire] == truncated) return;
   values_[wire] = truncated;
-  mark_wire_changed(wire);
+  mark_wire_changed(wire, /*sequential=*/true);
 }
 
 void Simulator::step() {
@@ -334,14 +447,21 @@ void Simulator::corrupt_wire(WireId wire, unsigned bit) {
   if (bit >= width) return;
   values_[wire] ^= 1ULL << bit;
   comb_dirty_ = true;
-  if (options_.event_driven) {
+  if (active_backend_ == SimBackend::kEvent) {
     // If a comb cell drives this wire the next settle recomputes it (erasing
     // the flip, as the full sweep does); the driver sits at a lower level
     // than the fanout, so dependents observe the recomputed value.
-    if (comb_driver_[wire] != kNoOp) schedule_op(comb_driver_[wire]);
-    const std::uint32_t begin = fanout_offsets_[wire];
-    const std::uint32_t end = fanout_offsets_[wire + 1];
-    for (std::uint32_t i = begin; i < end; ++i) schedule_op(fanout_ops_[i]);
+    if (comb_driver_[wire] != kNoCombOp) schedule_op(comb_driver_[wire]);
+    schedule_fanout(wire);
+  } else if (active_backend_ == SimBackend::kJit) {
+    std::uint32_t level = wire_min_level_[wire];
+    if (comb_driver_[wire] != kNoCombOp) {
+      level = std::min(level, comb_ops_[comb_driver_[wire]].level);
+    }
+    jit_dirty_level_ = std::min(jit_dirty_level_, level);
+    // A flipped wire may sit outside the sequential cone (a comb-driven wire
+    // awaiting recomputation): force the general level resume.
+    jit_dirty_seq_only_ = false;
   }
 }
 

@@ -36,7 +36,12 @@ std::uint64_t eval_comb_cell(CellKind kind, std::uint64_t param,
     case CellKind::kDivS: {
       const std::int64_t a = sign_extend(in(0), widths[0]);
       const std::int64_t b = sign_extend(in(1), widths[1]);
-      result = b == 0 ? ~0ULL : static_cast<std::uint64_t>(a / b);
+      // b == -1 negates in unsigned arithmetic: INT64_MIN / -1 overflows
+      // int64 (UB in C++, #DE on x86) but wraps to INT64_MIN in hardware
+      // two's-complement — the semantics the JIT's guarded `neg` emits.
+      result = b == 0    ? ~0ULL
+               : b == -1 ? 0u - static_cast<std::uint64_t>(a)
+                         : static_cast<std::uint64_t>(a / b);
       break;
     }
     case CellKind::kRemU:
@@ -45,8 +50,11 @@ std::uint64_t eval_comb_cell(CellKind kind, std::uint64_t param,
     case CellKind::kRemS: {
       const std::int64_t a = sign_extend(in(0), widths[0]);
       const std::int64_t b = sign_extend(in(1), widths[1]);
-      result = b == 0 ? static_cast<std::uint64_t>(a)
-                      : static_cast<std::uint64_t>(a % b);
+      // b == -1 divides exactly, so the remainder is 0 — guarded explicitly
+      // because INT64_MIN % -1 is UB in C++ despite the well-defined result.
+      result = b == 0    ? static_cast<std::uint64_t>(a)
+               : b == -1 ? 0
+                         : static_cast<std::uint64_t>(a % b);
       break;
     }
     case CellKind::kAnd: result = in(0) & in(1); break;

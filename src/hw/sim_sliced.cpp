@@ -21,7 +21,7 @@ constexpr std::uint64_t golden_of(std::uint64_t word) { return spread(word); }
 }  // namespace
 
 SlicedSimulator::SlicedSimulator(const Module& module)
-    : base_(module, SimOptions{.event_driven = true}) {
+    : base_(module, SimOptions{}) {
   if (!status().ok()) return;
   build_lanes();
   reset();
@@ -52,7 +52,7 @@ void SlicedSimulator::build_lanes() {
   // RAM writes sample addr + data (already truncated to mem width) + en_nz.
   std::uint32_t scratch = 0;
   regs_.reserve(base_.reg_ops_.size());
-  for (const Simulator::RegOp& op : base_.reg_ops_) {
+  for (const RegOp& op : base_.reg_ops_) {
     SlicedReg reg;
     reg.d = op.d;
     reg.en = op.en;
@@ -66,7 +66,7 @@ void SlicedSimulator::build_lanes() {
     regs_.push_back(reg);
   }
   ram_reads_.reserve(base_.ram_read_ops_.size());
-  for (const Simulator::RamReadOp& op : base_.ram_read_ops_) {
+  for (const RamReadOp& op : base_.ram_read_ops_) {
     SlicedRamRead rd;
     rd.addr = op.addr;
     rd.en = op.en;
@@ -80,7 +80,7 @@ void SlicedSimulator::build_lanes() {
     ram_reads_.push_back(rd);
   }
   ram_writes_.reserve(base_.ram_write_ops_.size());
-  for (const Simulator::RamWriteOp& op : base_.ram_write_ops_) {
+  for (const RamWriteOp& op : base_.ram_write_ops_) {
     SlicedRamWrite wr;
     wr.addr = op.addr;
     wr.data = op.data;
@@ -123,13 +123,13 @@ void SlicedSimulator::reset() {
   // Full settle from scratch, in topological order.
   std::fill(level_fill_.begin(), level_fill_.end(), 0);
   std::fill(op_scheduled_.begin(), op_scheduled_.end(), 0);
-  for (const Simulator::CombOp& op : base_.comb_ops_) {
+  for (const CombOp& op : base_.comb_ops_) {
     eval_op_sliced(op, slices_.data() + slice_off_[op.out]);
   }
   comb_dirty_ = false;
 }
 
-std::uint64_t SlicedSimulator::input_word(const Simulator::CombOp& op,
+std::uint64_t SlicedSimulator::input_word(const CombOp& op,
                                           std::size_t index,
                                           unsigned b) const {
   const WireId wire = base_.op_inputs_[op.first_input + index];
@@ -195,7 +195,7 @@ void SlicedSimulator::write_memory(std::size_t mem, std::size_t addr,
 /// Lane-sparse fallback for cells without a word-parallel form (mul/div/rem,
 /// lane-divergent shifts): evaluate lane 0 through the shared scalar cell
 /// semantics, broadcast, then patch only the diverging lanes.
-void SlicedSimulator::eval_op_fallback(const Simulator::CombOp& op,
+void SlicedSimulator::eval_op_fallback(const CombOp& op,
                                        std::uint64_t* out) const {
   const std::uint8_t* widths = base_.op_input_widths_.data() + op.first_input;
   const unsigned W = op.out_width;
@@ -238,7 +238,7 @@ void SlicedSimulator::eval_op_fallback(const Simulator::CombOp& op,
   }
 }
 
-void SlicedSimulator::eval_op_sliced(const Simulator::CombOp& op,
+void SlicedSimulator::eval_op_sliced(const CombOp& op,
                                      std::uint64_t* out) const {
   const std::uint8_t* widths = base_.op_input_widths_.data() + op.first_input;
   const unsigned W = op.out_width;
@@ -426,7 +426,7 @@ void SlicedSimulator::eval_op_sliced(const Simulator::CombOp& op,
   }
 }
 
-bool SlicedSimulator::apply_op(const Simulator::CombOp& op) {
+bool SlicedSimulator::apply_op(const CombOp& op) {
   std::uint64_t buf[64];
   eval_op_sliced(op, buf);
   std::uint64_t* cur = slices_.data() + slice_off_[op.out];
@@ -468,7 +468,7 @@ void SlicedSimulator::eval_comb() {
     for (std::uint32_t i = 0; i < level_fill_[level]; ++i) {
       const std::uint32_t index = level_arena_[base + i];
       op_scheduled_[index] = 0;
-      const Simulator::CombOp& op = base_.comb_ops_[index];
+      const CombOp& op = base_.comb_ops_[index];
       if (apply_op(op)) schedule_fanout(op.out);
     }
     level_fill_[level] = 0;
@@ -501,7 +501,7 @@ void SlicedSimulator::corrupt_wire(WireId wire, unsigned bit,
   comb_dirty_ = true;
   // Mirror Simulator::corrupt_wire: a comb-driven wire is recomputed at the
   // next settle (erasing the flip); dependents see the settled value.
-  if (base_.comb_driver_[wire] != Simulator::kNoOp) {
+  if (base_.comb_driver_[wire] != kNoCombOp) {
     schedule_op(base_.comb_driver_[wire]);
   }
   schedule_fanout(wire);

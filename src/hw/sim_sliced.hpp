@@ -117,16 +117,16 @@ class SlicedSimulator {
   };
 
   void build_lanes();
-  void eval_op_sliced(const Simulator::CombOp& op, std::uint64_t* out) const;
-  void eval_op_fallback(const Simulator::CombOp& op, std::uint64_t* out) const;
+  void eval_op_sliced(const CombOp& op, std::uint64_t* out) const;
+  void eval_op_fallback(const CombOp& op, std::uint64_t* out) const;
   /// Evaluates `op` and commits its output slices; returns true if any slice
   /// word changed.
-  bool apply_op(const Simulator::CombOp& op);
+  bool apply_op(const CombOp& op);
   void mark_wire_changed(WireId wire);
   void schedule_op(std::uint32_t op_index);
   void schedule_fanout(WireId wire);
 
-  [[nodiscard]] std::uint64_t input_word(const Simulator::CombOp& op,
+  [[nodiscard]] std::uint64_t input_word(const CombOp& op,
                                          std::size_t index, unsigned b) const;
   [[nodiscard]] std::uint64_t extract_lane_raw(const std::uint64_t* words,
                                                unsigned width,

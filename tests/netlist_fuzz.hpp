@@ -1,0 +1,252 @@
+// Shared random-netlist generator for the engine differential tests.
+//
+// One generator feeds every engine pairing (event vs sweep, JIT vs
+// interpreter, sliced lanes vs scalar twins) so a semantics bug in any engine
+// is caught against the same corpus. The generator is deliberately biased
+// toward the corners where word-level engines historically diverge:
+//  * edge widths 1, 63 and 64 (mask elision, sign-bit placement, the
+//    width-64 "no mask" paths);
+//  * shift counts at and beyond the operand width, including >= 64 (x86
+//    shifts silently take the count mod 64 — the JIT must guard);
+//  * mul/div corner constants (0, 1, all-ones == -1 signed, the lone sign
+//    bit == INT_MIN of the width) hitting divide-by-zero, divide-by-minus-one
+//    and overflow-negation semantics;
+//  * RAM read and write ports sharing one address wire, so same-cycle
+//    read/write collisions (write-first semantics) occur constantly.
+//
+// Cells only ever consume existing wires, so generated graphs are acyclic by
+// construction; register feedback is driven from sequential/port wires only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "hw/netlist.hpp"
+
+namespace hermes::hw::fuzz {
+
+/// A generated netlist plus the handles the driver loop needs.
+struct RandomDesign {
+  Module module{"rand"};
+  std::vector<std::string> input_ports;
+  std::size_t memory_count = 0;
+};
+
+/// Wire width with heavy bias toward the edge cases 1, 63, 64 (and 32, the
+/// dedicated mask encodings in the JIT).
+inline unsigned fuzz_width(Rng& rng) {
+  switch (rng.next_below(8)) {
+    case 0: return 1;
+    case 1: return 63;
+    case 2: return 64;
+    case 3: return 32;
+    default: return 1 + static_cast<unsigned>(rng.next_below(64));
+  }
+}
+
+/// Constant value biased toward arithmetic corners of `width`: zero, one,
+/// all-ones (signed -1), the lone sign bit (signed minimum), and values at /
+/// beyond typical shift counts.
+inline std::uint64_t fuzz_const(Rng& rng, unsigned width) {
+  switch (rng.next_below(10)) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return bit_mask(width);          // -1 signed
+    case 3: return 1ULL << (width - 1);      // sign bit / INT_MIN
+    case 4: return bit_mask(width) - 1;      // -2 signed
+    case 5: return width;                    // shift count == width
+    case 6: return 63;
+    case 7: return 64;                       // shift count off the word
+    default: return rng.next_u64();
+  }
+}
+
+/// Builds one random acyclic netlist. `prefix` keeps module names unique per
+/// test binary.
+inline RandomDesign make_random_design(Rng& rng, int index,
+                                       const std::string& prefix = "rand") {
+  RandomDesign design;
+  Module& m = design.module;
+  m = Module(prefix + std::to_string(index));
+
+  std::vector<WireId> pool;      // wires usable as comb inputs
+  std::vector<WireId> bit_pool;  // 1-bit wires (mux selects, enables)
+  // Wires with no combinational dependency (ports, consts, register
+  // outputs) — the only legal drivers for register-feedback filler cells.
+  std::vector<WireId> safe_pool;
+
+  const auto add_pool = [&](WireId wire) {
+    pool.push_back(wire);
+    if (m.wire_width(wire) == 1) bit_pool.push_back(wire);
+  };
+
+  const int num_inputs = 2 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < num_inputs; ++i) {
+    const unsigned width = fuzz_width(rng);
+    const std::string name = "in" + std::to_string(i);
+    const WireId wire = m.add_wire(width, name);
+    m.add_input(wire, name);
+    design.input_ports.push_back(name);
+    add_pool(wire);
+    safe_pool.push_back(wire);
+  }
+  {
+    const WireId en = m.add_wire(1, "en0");
+    m.add_input(en, "en0");
+    design.input_ports.push_back("en0");
+    add_pool(en);
+    safe_pool.push_back(en);
+  }
+  for (int i = 0; i < 5; ++i) {
+    const unsigned width = fuzz_width(rng);
+    const WireId wire = m.make_const(fuzz_const(rng, width), width);
+    add_pool(wire);
+    safe_pool.push_back(wire);
+  }
+  // Small-width constants usable as shift counts at / beyond the width.
+  for (int i = 0; i < 2; ++i) {
+    const unsigned width = 7 + static_cast<unsigned>(rng.next_below(2));
+    const WireId wire =
+        m.make_const(rng.next_bool(0.5) ? 64 + rng.next_below(64)
+                                        : rng.next_below(67),
+                     width);
+    add_pool(wire);
+    safe_pool.push_back(wire);
+  }
+  const WireId const_one = m.make_const(1, 1);
+  add_pool(const_one);
+  safe_pool.push_back(const_one);
+
+  // Feedback registers: placeholder d wires are driven later by filler
+  // cells whose inputs come only from safe_pool.
+  struct Feedback { WireId d; WireId q; };
+  std::vector<Feedback> feedbacks;
+  const int num_regs = 1 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < num_regs; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(32));
+    const WireId d = m.add_wire(width);
+    const WireId en = bit_pool[rng.next_below(bit_pool.size())];
+    const WireId q = m.make_register(d, en, rng.next_u64(),
+                                     "q" + std::to_string(i));
+    feedbacks.push_back({d, q});
+    add_pool(q);
+    safe_pool.push_back(q);
+  }
+
+  // Optional memory with one read and one write port. Half the time both
+  // ports share one address wire, forcing same-cycle read/write collisions
+  // on the same word (write-first: the read returns the new contents).
+  if (rng.next_bool(0.7)) {
+    Memory mem;
+    mem.name = "m0";
+    mem.width = 4 + static_cast<unsigned>(rng.next_below(29));
+    mem.depth = 8 + rng.next_below(24);
+    for (std::size_t i = 0; i < mem.depth / 2; ++i) {
+      mem.init.push_back(rng.next_u64());
+    }
+    const std::size_t mi = m.add_memory(mem);
+    design.memory_count = 1;
+    const WireId raddr = pool[rng.next_below(pool.size())];
+    const bool collide = rng.next_bool(0.5);
+    const WireId ren = collide ? const_one
+                               : bit_pool[rng.next_below(bit_pool.size())];
+    const WireId rdata = m.make_ram_read(mi, raddr, ren, "rdata");
+    add_pool(rdata);
+    safe_pool.push_back(rdata);
+    const WireId waddr = collide ? raddr : pool[rng.next_below(pool.size())];
+    const WireId wdata = pool[rng.next_below(pool.size())];
+    const WireId wen = collide ? const_one
+                               : bit_pool[rng.next_below(bit_pool.size())];
+    m.make_ram_write(mi, waddr, wdata, wen);
+  }
+
+  // Random comb soup.
+  static const CellKind kBinops[] = {
+      CellKind::kAdd,  CellKind::kSub,  CellKind::kMul,  CellKind::kDivU,
+      CellKind::kDivS, CellKind::kRemU, CellKind::kRemS, CellKind::kAnd,
+      CellKind::kOr,   CellKind::kXor,  CellKind::kShl,  CellKind::kShrU,
+      CellKind::kShrS, CellKind::kEq,   CellKind::kNe,   CellKind::kLtU,
+      CellKind::kLtS,  CellKind::kLeU,  CellKind::kLeS};
+  static const CellKind kShifts[] = {CellKind::kShl, CellKind::kShrU,
+                                     CellKind::kShrS};
+  static const CellKind kDivs[] = {CellKind::kDivU, CellKind::kDivS,
+                                   CellKind::kRemU, CellKind::kRemS,
+                                   CellKind::kMul};
+  const int num_cells = 20 + static_cast<int>(rng.next_below(40));
+  for (int i = 0; i < num_cells; ++i) {
+    const WireId a = pool[rng.next_below(pool.size())];
+    WireId out = kNoWire;
+    switch (rng.next_below(8)) {
+      case 0:
+      case 1: {  // binop over random existing wires
+        const CellKind kind = kBinops[rng.next_below(std::size(kBinops))];
+        const WireId b = pool[rng.next_below(pool.size())];
+        out = m.make_binop(kind, a, b, fuzz_width(rng));
+        break;
+      }
+      case 2: {  // directed: shift by a corner-valued constant count
+        const CellKind kind = kShifts[rng.next_below(std::size(kShifts))];
+        const unsigned count_width = 7 + static_cast<unsigned>(rng.next_below(2));
+        const WireId count = m.make_const(
+            fuzz_const(rng, count_width), count_width);
+        out = m.make_binop(kind, a, count, fuzz_width(rng));
+        break;
+      }
+      case 3: {  // directed: mul/div/rem against a corner constant
+        const CellKind kind = kDivs[rng.next_below(std::size(kDivs))];
+        const unsigned width = fuzz_width(rng);
+        const WireId b = m.make_const(fuzz_const(rng, width), width);
+        out = rng.next_bool(0.5)
+                  ? m.make_binop(kind, a, b, fuzz_width(rng))
+                  : m.make_binop(kind, b, a, fuzz_width(rng));
+        break;
+      }
+      case 4: {  // mux (branches must share a width)
+        const WireId sel = bit_pool[rng.next_below(bit_pool.size())];
+        const WireId b =
+            m.make_const(fuzz_const(rng, m.wire_width(a)), m.wire_width(a));
+        out = rng.next_bool(0.5) ? m.make_mux(sel, a, b) : m.make_mux(sel, b, a);
+        break;
+      }
+      case 5:  // unary
+        switch (rng.next_below(4)) {
+          case 0: out = m.make_not(a); break;
+          case 1: out = m.make_zext(a, fuzz_width(rng)); break;
+          case 2: out = m.make_sext(a, fuzz_width(rng)); break;
+          default:
+            out = m.make_slice(a, static_cast<unsigned>(
+                                      rng.next_below(m.wire_width(a))),
+                               1 + static_cast<unsigned>(rng.next_below(16)));
+            break;
+        }
+        break;
+      default: {  // concat, if the widths fit in 64 bits
+        const WireId b = pool[rng.next_below(pool.size())];
+        out = m.wire_width(a) + m.wire_width(b) <= 64 ? m.make_concat({a, b})
+                                                      : m.make_not(a);
+        break;
+      }
+    }
+    add_pool(out);
+  }
+
+  // Drive the feedback placeholders from safe wires only.
+  for (const Feedback& feedback : feedbacks) {
+    Cell cell;
+    cell.kind = rng.next_bool(0.5) ? CellKind::kAdd : CellKind::kXor;
+    cell.inputs = {feedback.q, safe_pool[rng.next_below(safe_pool.size())]};
+    cell.outputs = {feedback.d};
+    m.add_cell(std::move(cell));
+  }
+
+  // A few observable outputs (every wire is compared directly anyway).
+  for (int i = 0; i < 3; ++i) {
+    m.add_output(pool[rng.next_below(pool.size())], "out" + std::to_string(i));
+  }
+  return design;
+}
+
+}  // namespace hermes::hw::fuzz

@@ -1,12 +1,15 @@
-// Differential tests for the event-driven simulator engine, plus the
-// determinism contract of the parallel campaign / characterization runners.
+// Differential tests across every simulator engine, plus the determinism
+// contract of the parallel campaign / characterization runners.
 //
-// The event-driven engine (default) and the full-sweep oracle share one
-// compiled op table but disagree-prone machinery (fanout scheduling, level
-// draining, lazy dirty flags). The randomized test drives both engines on
-// generated netlists — random inputs, corrupt_wire injections, RAM traffic,
-// backdoor memory writes — and asserts every wire and memory word matches
-// after every settle.
+// The event-driven engine (default), the full-sweep oracle, the JIT backend
+// and lane 0 of the bit-sliced engine share one compiled op table but
+// disagree-prone machinery (fanout scheduling, level draining, native
+// codegen, slice transposition). The randomized test drives all four engines
+// on generated netlists — random inputs, corrupt_wire injections, RAM
+// traffic, backdoor memory writes — and asserts every wire and memory word
+// matches after every settle. The generator (tests/netlist_fuzz.hpp) is
+// biased toward edge widths (1, 63, 64), shift counts at/beyond the width,
+// mul/div corner constants and same-cycle RAM read/write collisions.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -19,223 +22,83 @@
 #include "hls/flow.hpp"
 #include "hw/netlist.hpp"
 #include "hw/sim.hpp"
+#include "hw/sim_sliced.hpp"
+#include "netlist_fuzz.hpp"
 
 namespace hermes::hw {
 namespace {
 
-/// A generated netlist plus the handles the driver loop needs.
-struct RandomDesign {
-  Module module{"rand"};
-  std::vector<std::string> input_ports;
-  std::size_t memory_count = 0;
-};
+using fuzz::RandomDesign;
 
-/// Builds a random acyclic netlist: input ports, constants, feedback
-/// registers (counter-style, driven only from sequential/port wires so no
-/// combinational loop can form), a soup of random comb cells, and optional
-/// RAM read/write ports.
-RandomDesign make_random_design(Rng& rng, int index) {
-  RandomDesign design;
-  Module& m = design.module;
-  m = Module("rand" + std::to_string(index));
-
-  std::vector<WireId> pool;      // wires usable as comb inputs
-  std::vector<WireId> bit_pool;  // 1-bit wires (mux selects, enables)
-  // Wires with no combinational dependency (ports, consts, register
-  // outputs) — the only legal drivers for register-feedback filler cells.
-  std::vector<WireId> safe_pool;
-
-  const auto add_pool = [&](WireId wire) {
-    pool.push_back(wire);
-    if (m.wire_width(wire) == 1) bit_pool.push_back(wire);
-  };
-
-  const int num_inputs = 2 + static_cast<int>(rng.next_below(4));
-  for (int i = 0; i < num_inputs; ++i) {
-    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(64));
-    const std::string name = "in" + std::to_string(i);
-    const WireId wire = m.add_wire(width, name);
-    m.add_input(wire, name);
-    design.input_ports.push_back(name);
-    add_pool(wire);
-    safe_pool.push_back(wire);
-  }
-  {
-    const WireId en = m.add_wire(1, "en0");
-    m.add_input(en, "en0");
-    design.input_ports.push_back("en0");
-    add_pool(en);
-    safe_pool.push_back(en);
-  }
-  for (int i = 0; i < 3; ++i) {
-    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(64));
-    const WireId wire = m.make_const(rng.next_u64(), width);
-    add_pool(wire);
-    safe_pool.push_back(wire);
-  }
-  const WireId const_one = m.make_const(1, 1);
-  add_pool(const_one);
-  safe_pool.push_back(const_one);
-
-  // Feedback registers: placeholder d wires are driven later by filler
-  // cells whose inputs come only from safe_pool.
-  struct Feedback { WireId d; WireId q; };
-  std::vector<Feedback> feedbacks;
-  const int num_regs = 1 + static_cast<int>(rng.next_below(3));
-  for (int i = 0; i < num_regs; ++i) {
-    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(32));
-    const WireId d = m.add_wire(width);
-    const WireId en = bit_pool[rng.next_below(bit_pool.size())];
-    const WireId q = m.make_register(d, en, rng.next_u64(),
-                                     "q" + std::to_string(i));
-    feedbacks.push_back({d, q});
-    add_pool(q);
-    safe_pool.push_back(q);
-  }
-
-  // Optional memory with one read and one write port.
-  if (rng.next_bool(0.7)) {
-    Memory mem;
-    mem.name = "m0";
-    mem.width = 4 + static_cast<unsigned>(rng.next_below(29));
-    mem.depth = 8 + rng.next_below(24);
-    for (std::size_t i = 0; i < mem.depth / 2; ++i) {
-      mem.init.push_back(rng.next_u64());
-    }
-    const std::size_t mi = m.add_memory(mem);
-    design.memory_count = 1;
-    const WireId raddr = pool[rng.next_below(pool.size())];
-    const WireId ren = bit_pool[rng.next_below(bit_pool.size())];
-    const WireId rdata = m.make_ram_read(mi, raddr, ren, "rdata");
-    add_pool(rdata);
-    safe_pool.push_back(rdata);
-    const WireId waddr = pool[rng.next_below(pool.size())];
-    const WireId wdata = pool[rng.next_below(pool.size())];
-    const WireId wen = bit_pool[rng.next_below(bit_pool.size())];
-    m.make_ram_write(mi, waddr, wdata, wen);
-  }
-
-  // Random comb soup. Cells only consume existing wires, so the graph
-  // stays acyclic by construction.
-  static const CellKind kBinops[] = {
-      CellKind::kAdd,  CellKind::kSub,  CellKind::kMul,  CellKind::kDivU,
-      CellKind::kDivS, CellKind::kRemU, CellKind::kRemS, CellKind::kAnd,
-      CellKind::kOr,   CellKind::kXor,  CellKind::kShl,  CellKind::kShrU,
-      CellKind::kShrS, CellKind::kEq,   CellKind::kNe,   CellKind::kLtU,
-      CellKind::kLtS,  CellKind::kLeU,  CellKind::kLeS};
-  const int num_cells = 20 + static_cast<int>(rng.next_below(40));
-  for (int i = 0; i < num_cells; ++i) {
-    const WireId a = pool[rng.next_below(pool.size())];
-    WireId out = kNoWire;
-    switch (rng.next_below(6)) {
-      case 0:
-      case 1:
-      case 2: {  // binop
-        const CellKind kind = kBinops[rng.next_below(std::size(kBinops))];
-        const WireId b = pool[rng.next_below(pool.size())];
-        out = m.make_binop(kind, a, b,
-                           1 + static_cast<unsigned>(rng.next_below(64)));
-        break;
-      }
-      case 3: {  // mux (branches must share a width)
-        const WireId sel = bit_pool[rng.next_below(bit_pool.size())];
-        const WireId b = m.make_const(rng.next_u64(), m.wire_width(a));
-        out = rng.next_bool(0.5) ? m.make_mux(sel, a, b) : m.make_mux(sel, b, a);
-        break;
-      }
-      case 4:  // unary
-        switch (rng.next_below(4)) {
-          case 0: out = m.make_not(a); break;
-          case 1:
-            out = m.make_zext(a, 1 + static_cast<unsigned>(rng.next_below(64)));
-            break;
-          case 2:
-            out = m.make_sext(a, 1 + static_cast<unsigned>(rng.next_below(64)));
-            break;
-          default:
-            out = m.make_slice(a, static_cast<unsigned>(
-                                      rng.next_below(m.wire_width(a))),
-                               1 + static_cast<unsigned>(rng.next_below(16)));
-            break;
-        }
-        break;
-      default: {  // concat, if the widths fit in 64 bits
-        const WireId b = pool[rng.next_below(pool.size())];
-        if (m.wire_width(a) + m.wire_width(b) <= 64) {
-          out = m.make_concat({a, b});
-        } else {
-          out = m.make_not(a);
-        }
-        break;
-      }
-    }
-    add_pool(out);
-  }
-
-  // Drive the feedback placeholders from safe wires only.
-  for (const Feedback& feedback : feedbacks) {
-    Cell cell;
-    cell.kind = rng.next_bool(0.5) ? CellKind::kAdd : CellKind::kXor;
-    cell.inputs = {feedback.q, safe_pool[rng.next_below(safe_pool.size())]};
-    cell.outputs = {feedback.d};
-    m.add_cell(std::move(cell));
-  }
-
-  // A few observable outputs (every wire is compared directly anyway).
-  for (int i = 0; i < 3; ++i) {
-    m.add_output(pool[rng.next_below(pool.size())], "out" + std::to_string(i));
-  }
-  return design;
-}
-
-void expect_identical(const Simulator& event, const Simulator& sweep,
-                      const RandomDesign& design, int trial, int cycle) {
+void expect_identical(const Simulator& oracle, const Simulator& other,
+                      const SlicedSimulator& sliced,
+                      const RandomDesign& design, int trial, int cycle,
+                      const char* engine) {
   for (WireId w = 0; w < design.module.wire_count(); ++w) {
-    ASSERT_EQ(event.get(w), sweep.get(w))
-        << "trial " << trial << " cycle " << cycle << " wire "
+    ASSERT_EQ(oracle.get(w), other.get(w))
+        << engine << " trial " << trial << " cycle " << cycle << " wire "
+        << design.module.wire_name(w) << " (" << w << ")";
+    ASSERT_EQ(oracle.get(w), sliced.get_lane(w, 0))
+        << "sliced lane0 trial " << trial << " cycle " << cycle << " wire "
         << design.module.wire_name(w) << " (" << w << ")";
   }
   for (std::size_t mem = 0; mem < design.memory_count; ++mem) {
     const std::size_t depth = design.module.memories()[mem].depth;
     for (std::size_t addr = 0; addr < depth; ++addr) {
-      ASSERT_EQ(event.read_memory(mem, addr), sweep.read_memory(mem, addr))
-          << "trial " << trial << " cycle " << cycle << " mem[" << addr << "]";
+      ASSERT_EQ(oracle.read_memory(mem, addr), other.read_memory(mem, addr))
+          << engine << " trial " << trial << " cycle " << cycle << " mem["
+          << addr << "]";
+      ASSERT_EQ(oracle.read_memory(mem, addr),
+                sliced.read_memory_lane(mem, addr, 0))
+          << "sliced lane0 trial " << trial << " cycle " << cycle << " mem["
+          << addr << "]";
     }
   }
 }
 
-TEST(SimEventDifferential, RandomNetlistsMatchFullSweepOracle) {
+TEST(SimEngineDifferential, RandomNetlistsMatchAcrossAllEngines) {
   constexpr int kDesigns = 60;
-  constexpr int kCyclesPerDesign = 30;  // 1800 netlist/cycle trials
+  constexpr int kCyclesPerDesign = 25;  // 1500 netlist/cycle trials
   Rng rng(0xD1FF);
 
   for (int trial = 0; trial < kDesigns; ++trial) {
-    RandomDesign design = make_random_design(rng, trial);
+    RandomDesign design = fuzz::make_random_design(rng, trial);
     ASSERT_TRUE(design.module.validate().ok()) << "trial " << trial;
-    Simulator event(design.module, SimOptions{.event_driven = true});
-    Simulator sweep(design.module, SimOptions{.event_driven = false});
-    ASSERT_TRUE(event.status().ok()) << event.status().message();
+    Simulator sweep(design.module, SimOptions{.backend = SimBackend::kSweep});
+    Simulator event(design.module, SimOptions{.backend = SimBackend::kEvent});
+    Simulator jit(design.module, SimOptions{.backend = SimBackend::kJit});
+    SlicedSimulator sliced(design.module);
     ASSERT_TRUE(sweep.status().ok()) << sweep.status().message();
-    expect_identical(event, sweep, design, trial, -1);
+    ASSERT_TRUE(event.status().ok()) << event.status().message();
+    ASSERT_TRUE(jit.status().ok()) << jit.status().message();
+    ASSERT_TRUE(sliced.status().ok()) << sliced.status().message();
+    expect_identical(sweep, event, sliced, design, trial, -1, "event");
+    expect_identical(sweep, jit, sliced, design, trial, -1, "jit");
 
-    const std::vector<WireId> regs = event.register_outputs();
+    const std::vector<WireId> regs = sweep.register_outputs();
     for (int cycle = 0; cycle < kCyclesPerDesign; ++cycle) {
       for (const std::string& port : design.input_ports) {
         if (rng.next_bool(0.5)) {
           const std::uint64_t value = rng.next_u64();
-          event.set_input(port, value);
           sweep.set_input(port, value);
+          event.set_input(port, value);
+          jit.set_input(port, value);
+          sliced.set_input(port, value);
         }
       }
       if (rng.next_bool(0.3)) {  // mid-cycle settle must agree too
-        event.eval_comb();
         sweep.eval_comb();
-        expect_identical(event, sweep, design, trial, cycle);
+        event.eval_comb();
+        jit.eval_comb();
+        sliced.eval_comb();
+        expect_identical(sweep, event, sliced, design, trial, cycle, "event");
+        expect_identical(sweep, jit, sliced, design, trial, cycle, "jit");
       }
       if (rng.next_bool(0.3)) {
         // SEU injection: mostly register state, sometimes an arbitrary
         // (possibly combinational) wire — the next settle must erase the
-        // flip identically in both engines.
+        // flip identically in every engine. Sliced lanes all take the flip
+        // so lane 0 keeps tracking the scalar engines.
         const WireId target =
             (!regs.empty() && rng.next_bool(0.7))
                 ? regs[rng.next_below(regs.size())]
@@ -243,25 +106,33 @@ TEST(SimEventDifferential, RandomNetlistsMatchFullSweepOracle) {
                       rng.next_below(design.module.wire_count()));
         const unsigned bit = static_cast<unsigned>(
             rng.next_below(design.module.wire_width(target)));
-        event.corrupt_wire(target, bit);
         sweep.corrupt_wire(target, bit);
+        event.corrupt_wire(target, bit);
+        jit.corrupt_wire(target, bit);
+        sliced.corrupt_wire(target, bit, ~0ULL);
       }
       if (design.memory_count != 0 && rng.next_bool(0.2)) {
         const Memory& mem = design.module.memories()[0];
         const std::size_t addr = rng.next_below(mem.depth);
         const std::uint64_t value = rng.next_u64();
-        event.write_memory(0, addr, value);
         sweep.write_memory(0, addr, value);
+        event.write_memory(0, addr, value);
+        jit.write_memory(0, addr, value);
+        sliced.write_memory(0, addr, value);
       }
-      event.step();
       sweep.step();
-      ASSERT_EQ(event.cycles(), sweep.cycles());
-      expect_identical(event, sweep, design, trial, cycle);
+      event.step();
+      jit.step();
+      sliced.step();
+      ASSERT_EQ(sweep.cycles(), event.cycles());
+      ASSERT_EQ(sweep.cycles(), jit.cycles());
+      expect_identical(sweep, event, sliced, design, trial, cycle, "event");
+      expect_identical(sweep, jit, sliced, design, trial, cycle, "jit");
     }
   }
 }
 
-TEST(SimEventDifferential, HlsAcceleratorSameResultBothEngines) {
+TEST(SimEngineDifferential, HlsAcceleratorSameResultAllBackends) {
   hls::FlowOptions options;
   options.top = "dot";
   auto flow = hls::run_flow(R"(
@@ -274,8 +145,8 @@ TEST(SimEventDifferential, HlsAcceleratorSameResultBothEngines) {
   ASSERT_TRUE(flow.ok());
   const Module& module = flow.value().fsmd.module;
 
-  auto run = [&](bool event_driven) {
-    Simulator sim(module, SimOptions{.event_driven = event_driven});
+  auto run = [&](SimBackend backend) {
+    Simulator sim(module, SimOptions{.backend = backend});
     EXPECT_TRUE(sim.status().ok());
     for (std::size_t i = 0; i < 16; ++i) {
       sim.write_memory(0, i, i + 1);
@@ -287,14 +158,17 @@ TEST(SimEventDifferential, HlsAcceleratorSameResultBothEngines) {
     return std::make_pair(cycles.ok() ? cycles.value() : 0,
                           sim.get_output("return_value"));
   };
-  const auto [event_cycles, event_result] = run(true);
-  const auto [sweep_cycles, sweep_result] = run(false);
+  const auto [event_cycles, event_result] = run(SimBackend::kEvent);
+  const auto [sweep_cycles, sweep_result] = run(SimBackend::kSweep);
+  const auto [jit_cycles, jit_result] = run(SimBackend::kJit);
   EXPECT_EQ(event_cycles, sweep_cycles);
   EXPECT_EQ(event_result, sweep_result);
+  EXPECT_EQ(event_cycles, jit_cycles);
+  EXPECT_EQ(event_result, jit_result);
   EXPECT_NE(event_result, 0u);
 }
 
-TEST(SimEventDifferential, LazySettleKeepsObservableSemantics) {
+TEST(SimEngineDifferential, LazySettleKeepsObservableSemantics) {
   // Counter with enable: repeated settles without input changes are no-ops,
   // and outputs stay fresh right after step() without extra eval_comb calls.
   Module m("counter");
@@ -310,20 +184,24 @@ TEST(SimEventDifferential, LazySettleKeepsObservableSemantics) {
   m.add_cell(add);
   m.add_output(q, "q");
 
-  Simulator sim(m);
-  ASSERT_TRUE(sim.status().ok());
-  sim.set_input("en", 1);
-  for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(sim.get_output("q"), static_cast<std::uint64_t>(i));
-    sim.eval_comb();
-    sim.eval_comb();  // redundant settles must not disturb state
+  for (SimBackend backend :
+       {SimBackend::kEvent, SimBackend::kSweep, SimBackend::kJit}) {
+    Simulator sim(m, SimOptions{.backend = backend});
+    ASSERT_TRUE(sim.status().ok());
+    sim.set_input("en", 1);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(sim.get_output("q"), static_cast<std::uint64_t>(i))
+          << to_string(backend);
+      sim.eval_comb();
+      sim.eval_comb();  // redundant settles must not disturb state
+      sim.step();
+    }
+    sim.set_input("en", 0);
     sim.step();
+    sim.step();
+    EXPECT_EQ(sim.get_output("q"), 5u) << to_string(backend);
+    EXPECT_EQ(sim.cycles(), 7u) << to_string(backend);
   }
-  sim.set_input("en", 0);
-  sim.step();
-  sim.step();
-  EXPECT_EQ(sim.get_output("q"), 5u);
-  EXPECT_EQ(sim.cycles(), 7u);
 }
 
 }  // namespace

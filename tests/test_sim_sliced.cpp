@@ -19,6 +19,7 @@
 #include "hw/netlist.hpp"
 #include "hw/sim.hpp"
 #include "hw/sim_sliced.hpp"
+#include "netlist_fuzz.hpp"
 
 namespace hermes::hw {
 namespace {
@@ -27,151 +28,7 @@ namespace {
 constexpr unsigned kTracked[] = {0, 1, 5, 62, 63};
 constexpr std::size_t kTrackedCount = std::size(kTracked);
 
-struct RandomDesign {
-  Module module{"rand"};
-  std::vector<std::string> input_ports;
-  std::size_t memory_count = 0;
-};
-
-/// Random acyclic netlist: ports, constants, feedback registers, a comb-cell
-/// soup over every CellKind, and an optional RAM with one read and one write
-/// port (same construction discipline as test_sim_event.cpp).
-RandomDesign make_random_design(Rng& rng, int index) {
-  RandomDesign design;
-  Module& m = design.module;
-  m = Module("sliced_rand" + std::to_string(index));
-
-  std::vector<WireId> pool;
-  std::vector<WireId> bit_pool;
-  std::vector<WireId> safe_pool;  // wires with no comb dependency
-  const auto add_pool = [&](WireId wire) {
-    pool.push_back(wire);
-    if (m.wire_width(wire) == 1) bit_pool.push_back(wire);
-  };
-
-  const int num_inputs = 2 + static_cast<int>(rng.next_below(3));
-  for (int i = 0; i < num_inputs; ++i) {
-    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(64));
-    const std::string name = "in" + std::to_string(i);
-    const WireId wire = m.add_wire(width, name);
-    m.add_input(wire, name);
-    design.input_ports.push_back(name);
-    add_pool(wire);
-    safe_pool.push_back(wire);
-  }
-  {
-    const WireId en = m.add_wire(1, "en0");
-    m.add_input(en, "en0");
-    design.input_ports.push_back("en0");
-    add_pool(en);
-    safe_pool.push_back(en);
-  }
-  for (int i = 0; i < 3; ++i) {
-    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(64));
-    const WireId wire = m.make_const(rng.next_u64(), width);
-    add_pool(wire);
-    safe_pool.push_back(wire);
-  }
-
-  struct Feedback { WireId d; WireId q; };
-  std::vector<Feedback> feedbacks;
-  const int num_regs = 1 + static_cast<int>(rng.next_below(3));
-  for (int i = 0; i < num_regs; ++i) {
-    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(32));
-    const WireId d = m.add_wire(width);
-    const WireId en = bit_pool[rng.next_below(bit_pool.size())];
-    const WireId q = m.make_register(d, en, rng.next_u64(),
-                                     "q" + std::to_string(i));
-    feedbacks.push_back({d, q});
-    add_pool(q);
-    safe_pool.push_back(q);
-  }
-
-  if (rng.next_bool(0.7)) {
-    Memory mem;
-    mem.name = "m0";
-    mem.width = 4 + static_cast<unsigned>(rng.next_below(29));
-    mem.depth = 8 + rng.next_below(24);
-    for (std::size_t i = 0; i < mem.depth / 2; ++i) {
-      mem.init.push_back(rng.next_u64());
-    }
-    const std::size_t mi = m.add_memory(mem);
-    design.memory_count = 1;
-    const WireId raddr = pool[rng.next_below(pool.size())];
-    const WireId ren = bit_pool[rng.next_below(bit_pool.size())];
-    const WireId rdata = m.make_ram_read(mi, raddr, ren, "rdata");
-    add_pool(rdata);
-    safe_pool.push_back(rdata);
-    const WireId waddr = pool[rng.next_below(pool.size())];
-    const WireId wdata = pool[rng.next_below(pool.size())];
-    const WireId wen = bit_pool[rng.next_below(bit_pool.size())];
-    m.make_ram_write(mi, waddr, wdata, wen);
-  }
-
-  static const CellKind kBinops[] = {
-      CellKind::kAdd,  CellKind::kSub,  CellKind::kMul,  CellKind::kDivU,
-      CellKind::kDivS, CellKind::kRemU, CellKind::kRemS, CellKind::kAnd,
-      CellKind::kOr,   CellKind::kXor,  CellKind::kShl,  CellKind::kShrU,
-      CellKind::kShrS, CellKind::kEq,   CellKind::kNe,   CellKind::kLtU,
-      CellKind::kLtS,  CellKind::kLeU,  CellKind::kLeS};
-  const int num_cells = 20 + static_cast<int>(rng.next_below(40));
-  for (int i = 0; i < num_cells; ++i) {
-    const WireId a = pool[rng.next_below(pool.size())];
-    WireId out = kNoWire;
-    switch (rng.next_below(6)) {
-      case 0:
-      case 1:
-      case 2: {
-        const CellKind kind = kBinops[rng.next_below(std::size(kBinops))];
-        const WireId b = pool[rng.next_below(pool.size())];
-        out = m.make_binop(kind, a, b,
-                           1 + static_cast<unsigned>(rng.next_below(64)));
-        break;
-      }
-      case 3: {
-        const WireId sel = bit_pool[rng.next_below(bit_pool.size())];
-        const WireId b = m.make_const(rng.next_u64(), m.wire_width(a));
-        out = rng.next_bool(0.5) ? m.make_mux(sel, a, b) : m.make_mux(sel, b, a);
-        break;
-      }
-      case 4:
-        switch (rng.next_below(4)) {
-          case 0: out = m.make_not(a); break;
-          case 1:
-            out = m.make_zext(a, 1 + static_cast<unsigned>(rng.next_below(64)));
-            break;
-          case 2:
-            out = m.make_sext(a, 1 + static_cast<unsigned>(rng.next_below(64)));
-            break;
-          default:
-            out = m.make_slice(a, static_cast<unsigned>(
-                                      rng.next_below(m.wire_width(a))),
-                               1 + static_cast<unsigned>(rng.next_below(16)));
-            break;
-        }
-        break;
-      default: {
-        const WireId b = pool[rng.next_below(pool.size())];
-        out = m.wire_width(a) + m.wire_width(b) <= 64 ? m.make_concat({a, b})
-                                                      : m.make_not(a);
-        break;
-      }
-    }
-    add_pool(out);
-  }
-
-  for (const Feedback& feedback : feedbacks) {
-    Cell cell;
-    cell.kind = rng.next_bool(0.5) ? CellKind::kAdd : CellKind::kXor;
-    cell.inputs = {feedback.q, safe_pool[rng.next_below(safe_pool.size())]};
-    cell.outputs = {feedback.d};
-    m.add_cell(std::move(cell));
-  }
-  for (int i = 0; i < 3; ++i) {
-    m.add_output(pool[rng.next_below(pool.size())], "out" + std::to_string(i));
-  }
-  return design;
-}
+using fuzz::RandomDesign;
 
 void expect_lanes_match_twins(const SlicedSimulator& sliced,
                               const std::vector<Simulator>& twins,
@@ -215,7 +72,7 @@ TEST(SimSlicedDifferential, RandomNetlistsMatchScalarTwinsPerLane) {
   Rng rng(0x51CED);
 
   for (int trial = 0; trial < kDesigns; ++trial) {
-    RandomDesign design = make_random_design(rng, trial);
+    RandomDesign design = fuzz::make_random_design(rng, trial, "sliced_rand");
     ASSERT_TRUE(design.module.validate().ok()) << "trial " << trial;
 
     SlicedSimulator sliced(design.module);
@@ -223,7 +80,7 @@ TEST(SimSlicedDifferential, RandomNetlistsMatchScalarTwinsPerLane) {
     std::vector<Simulator> twins;
     twins.reserve(kTrackedCount);
     for (std::size_t t = 0; t < kTrackedCount; ++t) {
-      twins.emplace_back(design.module, SimOptions{.event_driven = true});
+      twins.emplace_back(design.module, SimOptions{});
       ASSERT_TRUE(twins.back().status().ok());
     }
     expect_lanes_match_twins(sliced, twins, design, trial, -1);
