@@ -1,0 +1,163 @@
+// Compile-service flow-cache benchmark (ISSUE 10).
+//
+// Arms: cold single-job compile (fresh service every iteration), warm
+// single-job compile (every stage a cache hit), and mixed-corpus throughput
+// through the weighted-fair queue, serial and pooled.
+//
+// `bench_svc --smoke` runs the CI gate instead of the gbench harness:
+// >= 1000 mixed-tenant jobs drained cold, then the identical corpus drained
+// warm through the same service, then cold again on a pooled fresh service.
+// Exit 1 if any job's artifact fingerprint differs between passes (a digest
+// mismatch — the cache served a wrong artifact) or the pooled run diverges
+// from the serial one; exit 2 if the warm pass is not at least 5x faster
+// than the cold pass.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "svc_corpus.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::svc;
+
+hls::SweepConfig bench_sweep() {
+  hls::SweepConfig sweep;
+  sweep.ops = {ir::Op::kAdd, ir::Op::kMul};
+  sweep.widths = {8, 32};
+  sweep.pipeline_stages = {0, 1};
+  sweep.clock_periods_ns = {4.0, 8.0};
+  return sweep;
+}
+
+ServiceOptions bench_options(unsigned workers) {
+  ServiceOptions options;
+  options.workers = workers;
+  options.sweep = bench_sweep();
+  return options;
+}
+
+void BM_SvcColdFlow(benchmark::State& state) {
+  const CompileRequest request = corpus::source_request(0);
+  for (auto _ : state) {
+    CompileService service(bench_options(0));
+    const CompileOutcome outcome = service.run({request}).front();
+    if (!outcome.status.ok()) state.SkipWithError("cold compile failed");
+    benchmark::DoNotOptimize(outcome.fingerprint());
+  }
+}
+BENCHMARK(BM_SvcColdFlow)->Unit(benchmark::kMillisecond);
+
+void BM_SvcWarmFlow(benchmark::State& state) {
+  const CompileRequest request = corpus::source_request(0);
+  CompileService service(bench_options(0));
+  (void)service.run({request});  // populate every stage
+  for (auto _ : state) {
+    const CompileOutcome outcome = service.run({request}).front();
+    if (!outcome.status.ok()) state.SkipWithError("warm compile failed");
+    benchmark::DoNotOptimize(outcome.fingerprint());
+  }
+}
+BENCHMARK(BM_SvcWarmFlow)->Unit(benchmark::kMicrosecond);
+
+void BM_SvcThroughput(benchmark::State& state) {
+  const auto workers = static_cast<unsigned>(state.range(0));
+  const std::vector<CompileRequest> corpus =
+      corpus::mixed_corpus(96, 0xBE7C4, {"alpha", "beta", "gamma"});
+  for (auto _ : state) {
+    CompileService service(bench_options(workers));
+    const auto outcomes = service.run(corpus);
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 96), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SvcThroughput)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// CI smoke gate
+// ---------------------------------------------------------------------------
+
+std::uint64_t outcome_fp(const CompileOutcome& outcome) {
+  // Artifact fingerprint + status; excludes cycles/hits/dispatch by design.
+  return outcome.fingerprint();
+}
+
+int run_smoke() {
+  constexpr int kJobs = 1000;
+  const std::vector<CompileRequest> corpus =
+      corpus::mixed_corpus(kJobs, 0x57A7E, {"alpha", "beta", "gamma"});
+
+  using Clock = std::chrono::steady_clock;
+  CompileService service(bench_options(0));
+  service.set_tenant_weight("alpha", 2);
+
+  const auto t0 = Clock::now();
+  const std::vector<CompileOutcome> cold = service.run(corpus);
+  const auto t1 = Clock::now();
+  const std::vector<CompileOutcome> warm = service.run(corpus);
+  const auto t2 = Clock::now();
+
+  CompileService pooled(bench_options(4));
+  pooled.set_tenant_weight("alpha", 2);
+  const std::vector<CompileOutcome> parallel = pooled.run(corpus);
+
+  int mismatches = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (outcome_fp(warm[idx]) != outcome_fp(cold[idx]) ||
+        warm[idx].bitstream != cold[idx].bitstream) {
+      std::fprintf(stderr, "bench_svc --smoke: warm digest mismatch job %d\n",
+                   i);
+      ++mismatches;
+    }
+    if (outcome_fp(parallel[idx]) != outcome_fp(cold[idx]) ||
+        parallel[idx].dispatch_index != cold[idx].dispatch_index) {
+      std::fprintf(stderr,
+                   "bench_svc --smoke: pooled run diverged at job %d\n", i);
+      ++mismatches;
+    }
+  }
+  const FlowCacheStats stats = service.cache().stats();
+  if (stats.rot_served != 0) {
+    std::fprintf(stderr, "bench_svc --smoke: rot_served = %llu\n",
+                 static_cast<unsigned long long>(stats.rot_served));
+    ++mismatches;
+  }
+  if (mismatches != 0) return 1;
+
+  const double cold_s = std::chrono::duration<double>(t1 - t0).count();
+  const double warm_s = std::chrono::duration<double>(t2 - t1).count();
+  const double speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
+  std::printf(
+      "bench_svc --smoke: %d jobs cold %.3fs warm %.3fs speedup %.2fx, "
+      "0 digest mismatches, serial==pooled (hits %llu misses %llu "
+      "computes %llu)\n",
+      kJobs, cold_s, warm_s, speedup,
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.computes));
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "bench_svc --smoke: warm/cold speedup %.2fx below 5x gate\n",
+                 speedup);
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

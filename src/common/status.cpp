@@ -16,6 +16,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kNotFound: return "not_found";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kCount: break;
   }
   return "unknown";

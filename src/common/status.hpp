@@ -28,6 +28,7 @@ enum class ErrorCode {
   kDeadlineExceeded,  ///< bounded wait / watchdog expired (hang converted to error)
   kNotFound,
   kInternal,
+  kCancelled,         ///< caller withdrew the request (compile-service jobs)
   // Add new codes above and name them in to_string(); the enum-string
   // exhaustiveness test walks [0, kCount) and fails on a missing name.
   kCount,

@@ -35,11 +35,17 @@ void ThreadPool::worker_loop() {
       if (job == nullptr) continue;  // woke after the job already retired
       ++job->registered;
     }
-    std::size_t index;
-    while ((index = job->next.fetch_add(1, std::memory_order_relaxed)) <
-           job->count) {
-      (*job->body)(index);
-      job->done.fetch_add(1, std::memory_order_acq_rel);
+    if (job->pull != nullptr) {
+      // Queue mode: keep pulling until the queue reports itself drained.
+      while ((*job->pull)()) {
+      }
+    } else {
+      std::size_t index;
+      while ((index = job->next.fetch_add(1, std::memory_order_relaxed)) <
+             job->count) {
+        (*job->body)(index);
+        job->done.fetch_add(1, std::memory_order_acq_rel);
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -79,6 +85,32 @@ void ThreadPool::parallel_for(std::size_t count,
       return job.done.load(std::memory_order_acquire) == count &&
              job.registered == 0;
     });
+    current_job_ = nullptr;
+  }
+}
+
+void ThreadPool::run_queue(const std::function<bool()>& pull) {
+  if (workers_.empty()) {
+    while (pull()) {
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  Job job;
+  job.pull = &pull;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The submitting thread drains alongside the workers.
+  while (pull()) {
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job.registered == 0; });
     current_job_ = nullptr;
   }
 }

@@ -42,6 +42,15 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
+  /// Dynamic-queue variant for work whose extent is not known up front (the
+  /// compile service's weighted-fair job queue): every worker plus the
+  /// calling thread repeatedly invokes `pull` until it returns false, then
+  /// returns once no participant is still inside a pull. `pull` must be
+  /// thread-safe (pop-under-your-own-mutex-then-run); with zero workers it
+  /// runs fully inline, the serial reference. Not reentrant, and `pull` must
+  /// not re-enter this pool.
+  void run_queue(const std::function<bool()>& pull);
+
   /// Process-wide pool sized to the hardware (hardware_concurrency - 1
   /// workers, capped at 15).
   static ThreadPool& global();
@@ -56,6 +65,9 @@ class ThreadPool {
   /// still holds a pointer to it.
   struct Job {
     const std::function<void(std::size_t)>* body = nullptr;
+    /// run_queue submissions set `pull` instead of body/count: participants
+    /// loop on it until it reports the queue drained.
+    const std::function<bool()>* pull = nullptr;
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};  ///< next index to claim
     std::atomic<std::size_t> done{0};  ///< completed bodies

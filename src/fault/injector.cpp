@@ -135,6 +135,8 @@ constexpr std::string_view kCatalog[] = {
     "noc.beat.corrupt",   // granted beat's payload flipped in flight
     "noc.credit.leak",    // returning flow-control credit lost on the fabric
     "noc.endpoint.wedge", // endpoint stops consuming until re-admitted
+    "svc.cache.entry.rot",   // compile-cache artifact image rotted in storage
+    "svc.cache.evict.storm", // compile-cache spuriously sheds half its entries
 };
 
 }  // namespace

@@ -9,7 +9,8 @@
 
 namespace hermes::hls {
 
-Result<FlowResult> run_flow(std::string_view source, const FlowOptions& options) {
+Result<ScheduledDesign> run_flow_schedule(std::string_view source,
+                                          const FlowOptions& options) {
   // ---- front-end ----
   auto program = fe::parse(source);
   if (!program.ok()) return program.status();
@@ -22,31 +23,48 @@ Result<FlowResult> run_flow(std::string_view source, const FlowOptions& options)
   auto lowered = ir::lower(program.value(), options.top, lower_options);
   if (!lowered.ok()) return lowered.status();
 
-  FlowResult result;
-  result.function = lowered.take();
-  result.ir_instrs_before = result.function.instr_count();
+  ScheduledDesign design;
+  design.function = lowered.take();
+  design.ir_instrs_before = design.function.instr_count();
   if (options.run_middle_end) {
-    result.passes = ir::run_pipeline(result.function);
+    design.passes = ir::run_pipeline(design.function);
   } else {
-    ir::mark_roms(result.function);
+    ir::mark_roms(design.function);
   }
-  result.ir_instrs_after = result.function.instr_count();
-  result.cdfg = ir::summarize_cdfg(result.function);
+  design.ir_instrs_after = design.function.instr_count();
+  design.cdfg = ir::summarize_cdfg(design.function);
 
-  // ---- back-end: allocation + scheduling + binding + FSMD ----
+  // ---- back-end: allocation + scheduling + binding ----
   const TechLibrary lib(options.target);
-  auto scheduled = schedule(result.function, lib, options.constraints);
+  auto scheduled = schedule(design.function, lib, options.constraints);
   if (!scheduled.ok()) return scheduled.status();
-  result.schedule = scheduled.take();
+  design.schedule = scheduled.take();
+  design.binding = bind(design.function, design.schedule);
+  return design;
+}
 
-  result.binding = bind(result.function, result.schedule);
-
-  auto fsmd = generate_fsmd(result.function, result.schedule, result.binding);
+Result<FlowResult> finish_flow(ScheduledDesign design) {
+  auto fsmd = generate_fsmd(design.function, design.schedule, design.binding);
   if (!fsmd.ok()) return fsmd.status();
+
+  FlowResult result;
+  result.function = std::move(design.function);
+  result.cdfg = design.cdfg;
+  result.passes = std::move(design.passes);
+  result.schedule = std::move(design.schedule);
+  result.binding = std::move(design.binding);
+  result.ir_instrs_before = design.ir_instrs_before;
+  result.ir_instrs_after = design.ir_instrs_after;
   result.fsmd = fsmd.take();
   result.fsm_states = result.fsmd.num_states;
   result.verilog = hw::emit_verilog(result.fsmd.module);
   return result;
+}
+
+Result<FlowResult> run_flow(std::string_view source, const FlowOptions& options) {
+  auto scheduled = run_flow_schedule(source, options);
+  if (!scheduled.ok()) return scheduled.status();
+  return finish_flow(scheduled.take());
 }
 
 std::string flow_report(const FlowResult& result) {

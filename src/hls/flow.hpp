@@ -30,6 +30,22 @@ struct FlowOptions {
   FlowOptions() : target(ng_ultra()) {}
 };
 
+/// Front-end + middle-end + allocation/scheduling/binding — the resumable
+/// prefix of the flow, everything up to datapath generation. The compile
+/// service (src/svc/) caches this as the "scheduled CDFG" artifact and
+/// checks budgets/cancellation between it and finish_flow.
+struct ScheduledDesign {
+  ir::Function function;                 ///< optimized IR
+  ir::CdfgSummary cdfg;
+  std::vector<ir::PassReport> passes;
+  Schedule schedule;
+  Binding binding;
+  std::size_t ir_instrs_before = 0;
+  std::size_t ir_instrs_after = 0;
+
+  ScheduledDesign() : function("<empty>") {}
+};
+
 /// Everything the flow produced, stage by stage.
 struct FlowResult {
   ir::Function function;                 ///< optimized IR
@@ -49,8 +65,17 @@ struct FlowResult {
 };
 
 /// Runs the complete flow on `source`. All stages validate their output;
-/// the first failure is returned.
+/// the first failure is returned. Equivalent to run_flow_schedule followed
+/// by finish_flow.
 Result<FlowResult> run_flow(std::string_view source, const FlowOptions& options);
+
+/// Stage 1: parse, type check, lower, optimize, allocate, schedule, bind.
+Result<ScheduledDesign> run_flow_schedule(std::string_view source,
+                                          const FlowOptions& options);
+
+/// Stage 2: FSMD datapath generation + Verilog emission from a scheduled
+/// design. Consumes `design` (the IR and schedule move into the result).
+Result<FlowResult> finish_flow(ScheduledDesign design);
 
 /// Renders a human-readable flow report (used by examples and FIG2).
 std::string flow_report(const FlowResult& result);

@@ -6,38 +6,45 @@
 
 namespace hermes::nx {
 
-Result<BackendResult> run_backend(const hw::Module& module,
+Result<MapResult> run_backend_map(const hw::Module& module,
                                   const NxDevice& device,
                                   const BackendOptions& options) {
+  MapResult result;
   // Logic-synthesis cleanup: drop logic that drives nothing before paying
   // for it in mapping, placement and routing.
-  hw::Module synthesized = module;
-  hw::sweep_dead_cells(synthesized);
+  result.synthesized = module;
+  hw::sweep_dead_cells(result.synthesized);
 
-  auto mapped = techmap(synthesized, device);
+  auto mapped = techmap(result.synthesized, device);
   if (!mapped.ok()) return mapped.status();
-
-  BackendResult result;
   result.mapped = mapped.take();
-  result.placement = place(synthesized, result.mapped, device, options.place);
+
+  result.placement =
+      place(result.synthesized, result.mapped, device, options.place);
   if (options.detailed_router) {
-    DetailedRouteResult detailed = detailed_route(
-        synthesized, result.mapped, result.placement, device, options.detailed);
+    DetailedRouteResult detailed =
+        detailed_route(result.synthesized, result.mapped, result.placement,
+                       device, options.detailed);
     result.routing = std::move(detailed.routing);
     result.route_iterations = detailed.iterations;
     result.route_converged = detailed.converged;
   } else {
-    result.routing = route(synthesized, result.mapped, result.placement,
+    result.routing = route(result.synthesized, result.mapped, result.placement,
                            device, options.route);
   }
-  auto timing = analyze_timing(synthesized, result.mapped, result.routing,
-                               device, options.target_period_ns);
+  auto timing = analyze_timing(result.synthesized, result.mapped,
+                               result.routing, device,
+                               options.target_period_ns);
   if (!timing.ok()) return timing.status();
   result.timing = timing.take();
-  result.power =
-      estimate_power(result.mapped, device, result.timing.fmax_mhz);
+  result.power = estimate_power(result.mapped, device, result.timing.fmax_mhz);
+  return result;
+}
+
+Result<PackResult> pack_backend(const MapResult& map, const NxDevice& device) {
+  PackResult result;
   result.bitstream =
-      pack_bitstream(synthesized, result.mapped, result.placement, device);
+      pack_bitstream(map.synthesized, map.mapped, map.placement, device);
   // Pack self-check: the image BL1 will program must verify here first.
   auto info = verify_bitstream(result.bitstream);
   if (!info.ok()) {
@@ -45,7 +52,28 @@ Result<BackendResult> run_backend(const hw::Module& module,
                          "packed bitstream failed self-verification: " +
                              info.status().to_string());
   }
-  result.bitstream_info = info.take();
+  result.info = info.take();
+  return result;
+}
+
+Result<BackendResult> run_backend(const hw::Module& module,
+                                  const NxDevice& device,
+                                  const BackendOptions& options) {
+  auto map = run_backend_map(module, device, options);
+  if (!map.ok()) return map.status();
+  auto pack = pack_backend(map.value(), device);
+  if (!pack.ok()) return pack.status();
+
+  BackendResult result;
+  result.mapped = std::move(map.value().mapped);
+  result.placement = std::move(map.value().placement);
+  result.routing = std::move(map.value().routing);
+  result.timing = std::move(map.value().timing);
+  result.power = map.value().power;
+  result.route_iterations = map.value().route_iterations;
+  result.route_converged = map.value().route_converged;
+  result.bitstream = std::move(pack.value().bitstream);
+  result.bitstream_info = std::move(pack.value().info);
   return result;
 }
 

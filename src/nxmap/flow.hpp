@@ -31,6 +31,29 @@ struct BackendOptions {
   DetailedRouteOptions detailed;
 };
 
+/// Map/place/route/STA/power — everything except bitstream packing. The
+/// compile service (src/svc/) caches this as the "mapped netlist" artifact;
+/// pack_backend produces the bitstream from it alone, so a warm map entry
+/// skips synthesis, placement and routing entirely.
+struct MapResult {
+  /// Post dead-cell-sweep module — the netlist placement/routing/packing
+  /// actually operate on (pack_backend needs it verbatim).
+  hw::Module synthesized{"<empty>"};
+  MappedDesign mapped;
+  Placement placement;
+  Routing routing;
+  TimingReport timing;
+  PowerReport power;
+  unsigned route_iterations = 0;
+  bool route_converged = true;
+};
+
+/// Packed programming image plus its self-verification record.
+struct PackResult {
+  std::vector<std::uint8_t> bitstream;
+  BitstreamInfo info;
+};
+
 struct BackendResult {
   MappedDesign mapped;
   Placement placement;
@@ -47,9 +70,19 @@ struct BackendResult {
 };
 
 /// Runs the full backend on a synthesizable module for the given device.
+/// Equivalent to run_backend_map followed by pack_backend.
 Result<BackendResult> run_backend(const hw::Module& module,
                                   const NxDevice& device,
                                   const BackendOptions& options = {});
+
+/// Stage 1: logic-synthesis cleanup, tech mapping, placement, routing, STA
+/// and the power estimate.
+Result<MapResult> run_backend_map(const hw::Module& module,
+                                  const NxDevice& device,
+                                  const BackendOptions& options = {});
+
+/// Stage 2: packs and self-verifies the bitstream for a mapped design.
+Result<PackResult> pack_backend(const MapResult& map, const NxDevice& device);
 
 /// Human-readable end-of-flow report (utilization, timing, power, bitstream).
 std::string backend_report(const BackendResult& result, const NxDevice& device);

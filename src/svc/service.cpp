@@ -1,0 +1,383 @@
+#include "svc/service.hpp"
+
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "hls/eucalyptus.hpp"
+#include "nxmap/device.hpp"
+
+namespace hermes::svc {
+
+namespace {
+
+/// The cached product of the characterize stage: the sweep points plus the
+/// Bambu-library XML rendering, which doubles as the integrity image.
+struct Characterization {
+  std::vector<hls::CharacterizationPoint> points;
+  std::string xml;
+};
+
+void append_u64(std::vector<std::uint8_t>& image, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    image.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_f64(std::vector<std::uint8_t>& image, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  append_u64(image, bits);
+}
+
+void append_str(std::vector<std::uint8_t>& image, std::string_view text) {
+  append_u64(image, text.size());
+  image.insert(image.end(), text.begin(), text.end());
+}
+
+std::vector<std::uint8_t> image_of_characterization(
+    const Characterization& artifact) {
+  std::vector<std::uint8_t> image;
+  append_u64(image, artifact.points.size());
+  append_str(image, artifact.xml);
+  return image;
+}
+
+std::vector<std::uint8_t> image_of_flow(const hls::FlowResult& flow) {
+  std::vector<std::uint8_t> image;
+  append_u64(image, flow.fsmd.module.digest());
+  append_u64(image, flow.fsm_states);
+  append_u64(image, flow.ir_instrs_after);
+  append_str(image, flow.verilog);
+  return image;
+}
+
+std::vector<std::uint8_t> image_of_map(const nx::MapResult& map) {
+  std::vector<std::uint8_t> image;
+  append_u64(image, map.synthesized.digest());
+  append_u64(image, map.mapped.utilization.luts);
+  append_u64(image, map.mapped.utilization.ffs);
+  append_u64(image, map.mapped.utilization.dsps);
+  append_u64(image, map.mapped.utilization.brams);
+  append_f64(image, map.timing.critical_path_ns);
+  append_f64(image, map.timing.fmax_mhz);
+  append_f64(image, map.timing.slack_ns);
+  append_f64(image, map.power.total_mw);
+  append_u64(image, map.route_iterations);
+  return image;
+}
+
+std::vector<std::uint8_t> image_of_pack(const nx::PackResult& pack) {
+  return pack.bitstream;  // the raw image IS the artifact
+}
+
+}  // namespace
+
+CompileService::CompileService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_bytes),
+      pool_(options_.workers) {
+  if (options_.injector != nullptr) cache_.attach_injector(options_.injector);
+}
+
+void CompileService::set_tenant_weight(const std::string& tenant,
+                                       unsigned weight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenants_[tenant].weight = weight == 0 ? 1 : weight;
+}
+
+std::uint64_t CompileService::submit(CompileRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = jobs_.size();
+  auto record = std::make_unique<JobRecord>();
+  record->request = std::move(request);
+  record->outcome.tenant = record->request.tenant;
+  record->outcome.job_id = id;
+  Tenant& tenant = tenants_[record->request.tenant];
+  tenant.pending.push_back(id);
+  ++tenant.submitted;
+  ++stats_.submitted;
+  jobs_.push_back(std::move(record));
+  return id;
+}
+
+bool CompileService::cancel(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (job_id >= jobs_.size()) return false;
+  JobRecord& record = *jobs_[job_id];
+  if (record.done) return false;
+  record.cancelled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t CompileService::pop_wfq_locked() {
+  // Pick the tenant minimizing (served + 1) / weight; exact integer
+  // cross-multiply, first-in-map-order (lexicographic) on ties.
+  Tenant* best = nullptr;
+  for (auto& [name, tenant] : tenants_) {
+    if (tenant.pending.empty()) continue;
+    if (best == nullptr ||
+        (tenant.served + 1) * best->weight < (best->served + 1) * tenant.weight) {
+      best = &tenant;
+    }
+  }
+  if (best == nullptr) return kNoJob;
+  const std::uint64_t id = best->pending.front();
+  best->pending.pop_front();
+  ++best->served;
+  ++best->dispatched;
+  return id;
+}
+
+bool CompileService::run_next() {
+  JobRecord* record = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = pop_wfq_locked();
+    if (id == kNoJob) return false;
+    record = jobs_[id].get();
+    record->outcome.dispatch_index = dispatch_counter_++;
+  }
+  execute(*record);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    record->done = true;
+    ++stats_.completed;
+    switch (record->outcome.status.code()) {
+      case ErrorCode::kOk: ++stats_.succeeded; break;
+      case ErrorCode::kCancelled: ++stats_.cancelled; break;
+      case ErrorCode::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
+      default: ++stats_.failed; break;
+    }
+  }
+  return true;
+}
+
+void CompileService::drain() {
+  pool_.run_queue([this] { return run_next(); });
+}
+
+void CompileService::execute(JobRecord& record) {
+  const CompileRequest& req = record.request;
+  CompileOutcome& out = record.outcome;
+
+  // Pre-stage gate: cancellation then budget, in that order. Returns false
+  // when the job must stop; `out.status` explains why.
+  const auto enter_stage = [&](Stage stage) {
+    if (record.cancelled.load(std::memory_order_relaxed)) {
+      out.status = Status::Error(ErrorCode::kCancelled, "job cancelled");
+      return false;
+    }
+    if (out.cycles_charged >= req.cycle_budget) {
+      out.status = Status::Error(
+          ErrorCode::kDeadlineExceeded,
+          "cycle budget exhausted before " + std::string(to_string(stage)));
+      return false;
+    }
+    if (options_.stage_hook) options_.stage_hook(out.job_id, req, stage);
+    return true;
+  };
+  const auto charge = [&](Stage stage, std::uint64_t key, bool hit,
+                          std::uint64_t cycles) {
+    out.stages.push_back(StageTrace{stage, key, hit, cycles});
+    out.cycles_charged += cycles;
+  };
+  // Cache fetch with waiter fallback: a requester that parked on another
+  // job's compute and got null (the compiler failed or was cancelled) retries
+  // and becomes the compiler itself, so one tenant's cancellation can never
+  // fail a neighbour's job.
+  const auto fetch = [&](Stage stage, std::uint64_t key, auto&& compute,
+                         auto&& image_of, bool* hit) {
+    using Artifact = std::remove_const_t<
+        typename std::decay_t<decltype(compute())>::element_type>;
+    std::shared_ptr<const Artifact> value;
+    for (;;) {
+      bool waiter = false;
+      value = cache_.get_or_compute<Artifact>(stage, key, compute, image_of,
+                                              hit, &waiter);
+      if (value != nullptr || !waiter) break;
+    }
+    return value;
+  };
+
+  // ---- stage 0: characterize ----------------------------------------------
+  if (req.characterize) {
+    if (!enter_stage(Stage::kCharacterize)) return;
+    const std::uint64_t key =
+        characterize_key(req.flow.target, options_.sweep);
+    bool hit = false;
+    auto artifact = fetch(
+        Stage::kCharacterize, key,
+        [&]() -> std::shared_ptr<const Characterization> {
+          auto made = std::make_shared<Characterization>();
+          hls::TechLibrary lib(req.flow.target);
+          made->points = hls::run_sweep(lib, options_.sweep, &sweep_pool_);
+          made->xml = hls::to_xml(req.flow.target, made->points);
+          return made;
+        },
+        image_of_characterization, &hit);
+    if (artifact == nullptr) {
+      out.status = Status::Error(ErrorCode::kInternal,
+                                 "characterization sweep produced nothing");
+      charge(Stage::kCharacterize, key, false, 0);
+      return;
+    }
+    out.characterization_points = artifact->points.size();
+    charge(Stage::kCharacterize, key, hit,
+           hit ? cost::kHitCycles : cost::characterize(artifact->points.size()));
+  }
+
+  // ---- stage 1: schedule (source-level jobs only) -------------------------
+  std::shared_ptr<const hw::Module> module = req.module;
+  std::shared_ptr<const hls::FlowResult> flow;
+  if (!req.source.empty()) {
+    if (!enter_stage(Stage::kSchedule)) return;
+    const std::uint64_t key = schedule_key(req.source, req.flow);
+    bool hit = false;
+    Status stage_status = Status::Ok();
+    flow = fetch(
+        Stage::kSchedule, key,
+        [&]() -> std::shared_ptr<const hls::FlowResult> {
+          auto scheduled = hls::run_flow_schedule(req.source, req.flow);
+          if (!scheduled.ok()) {
+            stage_status = scheduled.status();
+            return nullptr;
+          }
+          // Mid-stage cancellation point: between scheduling/binding and
+          // datapath generation. An aborted compute inserts nothing.
+          if (record.cancelled.load(std::memory_order_relaxed)) {
+            stage_status = Status::Error(ErrorCode::kCancelled,
+                                         "job cancelled mid-schedule");
+            return nullptr;
+          }
+          auto finished = hls::finish_flow(std::move(scheduled.value()));
+          if (!finished.ok()) {
+            stage_status = finished.status();
+            return nullptr;
+          }
+          return std::make_shared<hls::FlowResult>(
+              std::move(finished.value()));
+        },
+        image_of_flow, &hit);
+    if (flow == nullptr) {
+      out.status = stage_status.ok()
+                       ? Status::Error(ErrorCode::kInternal,
+                                       "schedule stage produced nothing")
+                       : stage_status;
+      charge(Stage::kSchedule, key, false, 0);
+      return;
+    }
+    out.netlist_digest = flow->fsmd.module.digest();
+    out.fsm_states = flow->fsm_states;
+    charge(Stage::kSchedule, key, hit,
+           hit ? cost::kHitCycles : cost::schedule(req.source.size(), *flow));
+    // Aliasing share: the module lives inside the cached FlowResult.
+    module = std::shared_ptr<const hw::Module>(flow, &flow->fsmd.module);
+  }
+
+  if (module == nullptr) {
+    out.status = Status::Error(ErrorCode::kInvalidArgument,
+                               "request carries neither source nor netlist");
+    return;
+  }
+  if (out.netlist_digest == 0) out.netlist_digest = module->digest();
+
+  // ---- stage 2: map -------------------------------------------------------
+  if (!enter_stage(Stage::kMap)) return;
+  const nx::NxDevice device = nx::make_device(req.flow.target);
+  const std::uint64_t map_stage_key =
+      map_key(module->digest(), req.flow.target, req.backend);
+  bool map_hit = false;
+  Status map_status = Status::Ok();
+  auto map = fetch(
+      Stage::kMap, map_stage_key,
+      [&]() -> std::shared_ptr<const nx::MapResult> {
+        auto mapped = nx::run_backend_map(*module, device, req.backend);
+        if (!mapped.ok()) {
+          map_status = mapped.status();
+          return nullptr;
+        }
+        return std::make_shared<nx::MapResult>(std::move(mapped.value()));
+      },
+      image_of_map, &map_hit);
+  if (map == nullptr) {
+    out.status = map_status.ok()
+                     ? Status::Error(ErrorCode::kInternal,
+                                     "map stage produced nothing")
+                     : map_status;
+    charge(Stage::kMap, map_stage_key, false, 0);
+    return;
+  }
+  out.timing = map->timing;
+  out.power_total_mw = map->power.total_mw;
+  charge(Stage::kMap, map_stage_key, map_hit,
+         map_hit ? cost::kHitCycles : cost::map(*map));
+
+  // ---- stage 3: bitstream -------------------------------------------------
+  if (!enter_stage(Stage::kBitstream)) return;
+  const std::uint64_t pack_key = bitstream_key(map_stage_key);
+  bool pack_hit = false;
+  Status pack_status = Status::Ok();
+  auto pack = fetch(
+      Stage::kBitstream, pack_key,
+      [&]() -> std::shared_ptr<const nx::PackResult> {
+        auto packed = nx::pack_backend(*map, device);
+        if (!packed.ok()) {
+          pack_status = packed.status();
+          return nullptr;
+        }
+        return std::make_shared<nx::PackResult>(std::move(packed.value()));
+      },
+      image_of_pack, &pack_hit);
+  if (pack == nullptr) {
+    out.status = pack_status.ok()
+                     ? Status::Error(ErrorCode::kInternal,
+                                     "bitstream stage produced nothing")
+                     : pack_status;
+    charge(Stage::kBitstream, pack_key, false, 0);
+    return;
+  }
+  out.bitstream = pack->bitstream;
+  charge(Stage::kBitstream, pack_key, pack_hit,
+         pack_hit ? cost::kHitCycles : cost::bitstream(pack->bitstream.size()));
+  out.status = Status::Ok();
+}
+
+const CompileOutcome& CompileService::outcome(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.at(job_id)->outcome;
+}
+
+std::vector<CompileOutcome> CompileService::run(
+    std::vector<CompileRequest> requests) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(requests.size());
+  for (auto& request : requests) ids.push_back(submit(std::move(request)));
+  drain();
+  std::vector<CompileOutcome> outcomes;
+  outcomes.reserve(ids.size());
+  for (const std::uint64_t id : ids) outcomes.push_back(outcome(id));
+  return outcomes;
+}
+
+ServiceStats CompileService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<TenantStats> CompileService::tenant_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TenantStats> all;
+  all.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    TenantStats stats;
+    stats.tenant = name;
+    stats.weight = tenant.weight;
+    stats.submitted = tenant.submitted;
+    stats.dispatched = tenant.dispatched;
+    all.push_back(std::move(stats));
+  }
+  return all;
+}
+
+}  // namespace hermes::svc

@@ -249,4 +249,31 @@ inline RandomDesign make_random_design(Rng& rng, int index,
   return design;
 }
 
+/// Flips exactly one aspect of one random cell: a param bit, one input wire
+/// id, or the cell kind. The mutant is only ever digested, never simulated,
+/// so the rewired input does not need to exist. Shared by the JIT kernel
+/// cache and the compile-service cache collision fuzz: both content-address
+/// by Module::digest() and would run stale artifacts on a collision.
+inline void mutate_one_cell(Rng& rng, Module& module) {
+  std::vector<Cell> cells = module.cells();
+  Cell& cell = cells[rng.next_below(cells.size())];
+  switch (rng.next_below(3)) {
+    case 0:
+      cell.param ^= 1;
+      break;
+    case 1:
+      if (!cell.inputs.empty()) {
+        cell.inputs[rng.next_below(cell.inputs.size())] ^= 1;
+      } else {
+        cell.param ^= 2;
+      }
+      break;
+    default:
+      cell.kind = cell.kind == CellKind::kAdd ? CellKind::kSub
+                                              : CellKind::kAdd;
+      break;
+  }
+  module.replace_cells(std::move(cells));
+}
+
 }  // namespace hermes::hw::fuzz

@@ -1,12 +1,17 @@
 // Unit tests for the common utility layer.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <vector>
+
 #include "common/bits.hpp"
 #include "common/crc.hpp"
 #include "common/rng.hpp"
 #include "common/sha256.hpp"
 #include "common/status.hpp"
 #include "common/strings.hpp"
+#include "common/threadpool.hpp"
 #include "common/xml.hpp"
 
 namespace hermes {
@@ -183,6 +188,67 @@ TEST(Xml, EmptyElementSelfCloses) {
   xml.empty_element("leaf", {{"k", "v"}});
   xml.end_element();
   EXPECT_NE(xml.str().find("<leaf k=\"v\"/>"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool::run_queue — the compile service's drain primitive
+// ---------------------------------------------------------------------------
+
+/// Thread-safe pop-then-run counter queue: pull() claims one of `total`
+/// tickets and records it, returning false once the tickets run out.
+struct TicketQueue {
+  explicit TicketQueue(int total) : remaining(total) {}
+  bool pull() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (remaining == 0) return false;
+    claimed.push_back(--remaining);
+    return true;
+  }
+  std::mutex mutex;
+  int remaining;
+  std::vector<int> claimed;
+};
+
+TEST(ThreadPoolRunQueue, InlineWithZeroWorkersDrainsEverything) {
+  ThreadPool pool(0);
+  TicketQueue queue(100);
+  pool.run_queue([&] { return queue.pull(); });
+  EXPECT_EQ(queue.claimed.size(), 100u);
+  EXPECT_EQ(queue.remaining, 0);
+}
+
+TEST(ThreadPoolRunQueue, PooledDrainsEveryTicketExactlyOnce) {
+  ThreadPool pool(4);
+  TicketQueue queue(1000);
+  pool.run_queue([&] { return queue.pull(); });
+  ASSERT_EQ(queue.claimed.size(), 1000u);
+  std::vector<bool> seen(1000, false);
+  for (const int ticket : queue.claimed) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(ticket)])
+        << "ticket " << ticket << " claimed twice";
+    seen[static_cast<std::size_t>(ticket)] = true;
+  }
+}
+
+TEST(ThreadPoolRunQueue, EmptyQueueReturnsImmediately) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.run_queue([&] {
+    ++calls;
+    return false;
+  });
+  // Every participant observes the drained queue at most once.
+  EXPECT_GE(calls.load(), 1);
+  EXPECT_LE(calls.load(), 3);
+}
+
+TEST(ThreadPoolRunQueue, ReusableAcrossSubmissions) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    TicketQueue queue(50);
+    pool.run_queue([&] { return queue.pull(); });
+    EXPECT_EQ(queue.claimed.size(), 50u) << "round " << round;
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "fdir/event.hpp"
 #include "fdir/policy.hpp"
 #include "fdir/supervisor.hpp"
+#include "svc/job.hpp"
 
 namespace hermes {
 namespace {
@@ -57,6 +58,11 @@ TEST(EnumStrings, IsolationActionNamesAreExhaustive) {
 TEST(EnumStrings, FdirModeNamesAreExhaustive) {
   expect_exhaustive_names<fdir::FdirMode>(
       static_cast<std::size_t>(fdir::FdirMode::kCount), "?", "fdir::FdirMode");
+}
+
+TEST(EnumStrings, SvcStageNamesAreExhaustive) {
+  expect_exhaustive_names<svc::Stage>(
+      static_cast<std::size_t>(svc::Stage::kCount), "unknown", "svc::Stage");
 }
 
 }  // namespace

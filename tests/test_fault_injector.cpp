@@ -15,6 +15,7 @@
 #include "fault/injector.hpp"
 #include "hv/hypervisor.hpp"
 #include "noc/noc.hpp"
+#include "svc/cache.hpp"
 
 namespace hermes::fault {
 namespace {
@@ -190,6 +191,8 @@ TEST(Plans, CatalogCoversEveryRegisteredPoint) {
   (void)df::simulate_dataflow(graph, 1, df_options);
   noc::Crossbar fabric(noc::FabricConfig{}, {{"p0"}}, {{"e0"}});
   fabric.attach_injector(&inj);
+  svc::FlowCache cache;
+  cache.attach_injector(&inj);
 
   const auto catalog = default_point_catalog();
   for (std::size_t i = 0; i < inj.num_points(); ++i) {

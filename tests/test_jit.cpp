@@ -80,27 +80,7 @@ TEST(ModuleDigest, SingleCellMutationsNeverCollide) {
     const std::uint64_t base = design.module.digest();
     seen.push_back(base);
 
-    std::vector<Cell> cells = design.module.cells();
-    Cell& cell = cells[rng.next_below(cells.size())];
-    switch (rng.next_below(3)) {
-      case 0:
-        cell.param ^= 1;
-        break;
-      case 1:
-        if (!cell.inputs.empty()) {
-          // Rewire one input (the mutant is only digested, never simulated,
-          // so the new wire id does not need to exist).
-          cell.inputs[rng.next_below(cell.inputs.size())] ^= 1;
-        } else {
-          cell.param ^= 2;
-        }
-        break;
-      default:
-        cell.kind = cell.kind == CellKind::kAdd ? CellKind::kSub
-                                                : CellKind::kAdd;
-        break;
-    }
-    design.module.replace_cells(std::move(cells));
+    fuzz::mutate_one_cell(rng, design.module);
     const std::uint64_t mutated = design.module.digest();
     EXPECT_NE(base, mutated) << "trial " << trial;
     seen.push_back(mutated);
